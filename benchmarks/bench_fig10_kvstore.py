@@ -1,0 +1,50 @@
+"""Figure 10: storage size and throughput vs block height (KVStore/YCSB).
+
+Same orderings as Figure 9 under the YCSB-driven KVStore contract; the
+paper's LIPP blow-up is largest here (31x MPT's storage at height 10^2).
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_overall_performance
+from repro.bench.report import format_bytes, format_table
+
+HEIGHTS = (30, 100, 300)
+
+
+def test_fig10_kvstore_overall(benchmark, series):
+    rows = run_once(
+        benchmark,
+        run_overall_performance,
+        "kvstore",
+        heights=HEIGHTS,
+        engines=("mpt", "cole", "cole*", "lipp", "cmi"),
+        num_accounts=300,  # => 600 distinct YCSB keys
+    )
+    series("\nFigure 10 — KVStore: storage size and throughput vs block height")
+    series(
+        format_table(
+            ["engine", "blocks", "storage", "tps", "note"],
+            [
+                [
+                    row["engine"],
+                    row["blocks"],
+                    format_bytes(row["storage_bytes"]) if row["storage_bytes"] else "-",
+                    f"{row['tps']:.0f}" if row["tps"] else "-",
+                    row["note"],
+                ]
+                for row in rows
+            ],
+        )
+    )
+    by_engine = {(row["engine"], row["blocks"]): row for row in rows}
+    top = HEIGHTS[-1]
+    assert (
+        by_engine[("cole", top)]["storage_bytes"]
+        < by_engine[("mpt", top)]["storage_bytes"] * 0.45
+    )
+    lipp_height = 100
+    assert (
+        by_engine[("lipp", lipp_height)]["storage_bytes"]
+        > by_engine[("mpt", lipp_height)]["storage_bytes"]
+    )

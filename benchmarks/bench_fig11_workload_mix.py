@@ -1,0 +1,41 @@
+"""Figure 11: throughput vs workload mix (Read-Only / Read-Write / Write-Only).
+
+Paper shape: every engine slows as the write share grows, MPT degrading
+most (up to 93%) and COLE/COLE* least (up to 87%) thanks to the LSM-style
+write path.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_workload_mix
+from repro.bench.report import format_table
+
+HEIGHTS = (100, 300)
+
+
+def test_fig11_workload_mix(benchmark, series):
+    rows = run_once(
+        benchmark,
+        run_workload_mix,
+        heights=HEIGHTS,
+        engines=("mpt", "cole", "cole*"),
+        num_keys=300,
+    )
+    series("\nFigure 11 — KVStore throughput vs workload mix")
+    series(
+        format_table(
+            ["engine", "blocks", "mix", "tps"],
+            [
+                [row["engine"], row["blocks"], row["mix"], f"{row['tps']:.0f}"]
+                for row in rows
+            ],
+        )
+    )
+    by_key = {(row["engine"], row["blocks"], row["mix"]): row["tps"] for row in rows}
+    top = HEIGHTS[-1]
+    # Every engine slows as the write share grows ...
+    for engine in ("mpt", "cole", "cole*"):
+        assert by_key[(engine, top, "RO")] > by_key[(engine, top, "WO")]
+    # ... and COLE's LSM write path keeps it ahead of MPT in every mix.
+    for mix in ("RO", "RW", "WO"):
+        assert by_key[("cole", top, mix)] > by_key[("mpt", top, mix)] * 0.9

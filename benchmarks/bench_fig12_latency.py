@@ -1,0 +1,48 @@
+"""Figure 12: per-transaction latency distribution (tail latency).
+
+Paper shape: COLE's synchronous recursive merges produce tail latencies
+orders of magnitude above its median; COLE* (asynchronous merge) cuts the
+tail by 1-2 orders of magnitude while keeping a comparable median.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_latency
+from repro.bench.report import format_seconds, format_table
+
+HEIGHTS = (300, 1000)
+
+
+def test_fig12_latency_smallbank(benchmark, series):
+    rows = run_once(
+        benchmark,
+        run_latency,
+        "smallbank",
+        heights=HEIGHTS,
+        engines=("mpt", "cole", "cole*"),
+        num_accounts=200,
+    )
+    series("\nFigure 12 — SmallBank latency distribution")
+    series(
+        format_table(
+            ["engine", "blocks", "median", "p99", "tail"],
+            [
+                [
+                    row["engine"],
+                    row["blocks"],
+                    format_seconds(row["median_s"]),
+                    format_seconds(row["p99_s"]),
+                    format_seconds(row["tail_s"]),
+                ]
+                for row in rows
+            ],
+        )
+    )
+    by_key = {(row["engine"], row["blocks"]): row for row in rows}
+    top = HEIGHTS[-1]
+    cole = by_key[("cole", top)]
+    cole_star = by_key[("cole*", top)]
+    # The asynchronous merge removes the write-stall tail.
+    assert cole_star["tail_s"] < cole["tail_s"]
+    # And COLE's tail is far above its own median (the write stall).
+    assert cole["tail_s"] > cole["median_s"] * 50

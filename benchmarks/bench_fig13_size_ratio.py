@@ -1,0 +1,41 @@
+"""Figure 13: impact of the LSM size ratio T (SmallBank, fixed height).
+
+Paper shape: throughput is essentially flat across T; tail latency is
+U-shaped (best near T = 4-6); median latency creeps up with T.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_size_ratio
+from repro.bench.report import format_seconds, format_table
+
+RATIOS = (2, 4, 6, 8, 10, 12)
+
+
+def test_fig13_size_ratio(benchmark, series):
+    rows = run_once(
+        benchmark,
+        run_size_ratio,
+        size_ratios=RATIOS,
+        blocks=300,
+        num_accounts=200,
+    )
+    series("\nFigure 13 — impact of size ratio T (SmallBank)")
+    series(
+        format_table(
+            ["engine", "T", "tps", "median", "tail"],
+            [
+                [
+                    row["engine"],
+                    row["size_ratio"],
+                    f"{row['tps']:.0f}",
+                    format_seconds(row["median_s"]),
+                    format_seconds(row["tail_s"]),
+                ]
+                for row in rows
+            ],
+        )
+    )
+    cole_tps = [row["tps"] for row in rows if row["engine"] == "cole"]
+    # Throughput stays within a small band across T (paper: stable).
+    assert max(cole_tps) < min(cole_tps) * 4

@@ -1,0 +1,53 @@
+"""Figure 14: provenance-query CPU time and proof size vs block range q.
+
+Paper shape: MPT grows linearly in q on both metrics (it walks one Merkle
+path per block); COLE/COLE* grow sublinearly (contiguous versions share
+runs and Merkle-path ancestors), and their proof only beats MPT's beyond
+a small-q crossover.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_provenance_range
+from repro.bench.report import format_bytes, format_seconds, format_table
+
+RANGES = (2, 4, 8, 16, 32, 64, 128)
+
+
+def test_fig14_provenance_range(benchmark, series):
+    rows = run_once(
+        benchmark,
+        run_provenance_range,
+        query_ranges=RANGES,
+        blocks=300,
+        engines=("mpt", "cole", "cole*"),
+        queries_per_point=10,
+    )
+    series("\nFigure 14 — provenance query vs block range q (height 300)")
+    series(
+        format_table(
+            ["engine", "q", "cpu", "proof"],
+            [
+                [
+                    row["engine"],
+                    row["range"],
+                    format_seconds(row["cpu_s"]),
+                    format_bytes(int(row["proof_bytes"])),
+                ]
+                for row in rows
+            ],
+        )
+    )
+    series = {
+        engine: {row["range"]: row for row in rows if row["engine"] == engine}
+        for engine in ("mpt", "cole", "cole*")
+    }
+    # MPT proof size grows ~linearly with q; COLE's grows sublinearly.
+    mpt_growth = series["mpt"][128]["proof_bytes"] / series["mpt"][2]["proof_bytes"]
+    cole_growth = series["cole"][128]["proof_bytes"] / series["cole"][2]["proof_bytes"]
+    assert mpt_growth > 20
+    assert cole_growth < mpt_growth / 4
+    # Crossover: COLE's proof is smaller at large q ...
+    assert series["cole"][128]["proof_bytes"] < series["mpt"][128]["proof_bytes"]
+    # ... and CPU time also wins at large q.
+    assert series["cole"][128]["cpu_s"] < series["mpt"][128]["cpu_s"]

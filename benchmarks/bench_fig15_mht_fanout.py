@@ -1,0 +1,43 @@
+"""Figure 15: provenance cost vs COLE's Merkle-file fanout m (q = 16).
+
+Paper shape: both CPU time and proof size are U-shaped in m — higher
+fanout means shallower MHTs but wider sibling groups per proof layer —
+with the sweet spot around m = 4.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_mht_fanout
+from repro.bench.report import format_bytes, format_seconds, format_table
+
+FANOUTS = (2, 4, 8, 16, 32, 64)
+
+
+def test_fig15_mht_fanout(benchmark, series):
+    rows = run_once(
+        benchmark,
+        run_mht_fanout,
+        fanouts=FANOUTS,
+        blocks=300,
+        query_range=16,
+        queries_per_point=10,
+    )
+    series("\nFigure 15 — provenance cost vs MHT fanout m (q = 16)")
+    series(
+        format_table(
+            ["engine", "m", "cpu", "proof"],
+            [
+                [
+                    row["engine"],
+                    row["fanout"],
+                    format_seconds(row["cpu_s"]),
+                    format_bytes(int(row["proof_bytes"])),
+                ]
+                for row in rows
+            ],
+        )
+    )
+    cole = {row["fanout"]: row for row in rows if row["engine"] == "cole"}
+    # The extremes should not beat the middle on proof size (U shape):
+    middle_best = min(cole[m]["proof_bytes"] for m in (4, 8))
+    assert cole[64]["proof_bytes"] > middle_best

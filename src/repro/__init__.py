@@ -1,0 +1,24 @@
+"""COLE: Column-based Learned Storage for Blockchain Systems (FAST 2024).
+
+A from-scratch Python reproduction of the paper and all of its
+substrates.  The most common entry points:
+
+>>> from repro import Cole, ColeParams, verify_provenance
+
+See README.md for a tour, DESIGN.md for the system inventory, and
+EXPERIMENTS.md for measured reproductions of every table and figure.
+"""
+
+from repro.common.params import ColeParams, SystemParams
+from repro.core import Cole, CompoundKey, verify_provenance
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cole",
+    "ColeParams",
+    "SystemParams",
+    "CompoundKey",
+    "verify_provenance",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""The paper's comparison baselines (Section 8.1.1).
+
+* :class:`MPTStorage` — Ethereum's persistent Merkle Patricia Trie over
+  the LSM KV store (the paper's ``MPT`` baseline);
+* :class:`LIPPStorage` — the state-of-the-art in-place learned index with
+  node persistence (``LIPP``), demonstrating why naively persisting
+  learned-index nodes explodes storage;
+* :class:`CMIStorage` — the column-based Merkle index (``CMI``): a
+  non-persistent upper MPT over per-address Merkle B+-trees.
+"""
+
+from repro.baselines.mpt_storage import MPTStorage
+from repro.baselines.lipp import LIPPStorage
+from repro.baselines.cmi import CMIStorage
+
+__all__ = ["MPTStorage", "LIPPStorage", "CMIStorage"]

@@ -1,0 +1,105 @@
+"""A classic double-hashing bloom filter.
+
+Double hashing (Kirsch & Mitzenmacher) derives the k probe positions from
+two independent halves of a single SHA-256 digest, so membership is
+deterministic across processes — required because blockchain nodes must
+agree on the filter bytes that are hashed into the state root.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+from repro.common.codec import decode_u32, encode_u32
+from repro.common.errors import StorageError
+from repro.common.hashing import Digest, hash_bytes
+
+
+class BloomFilter:
+    """Fixed-size bloom filter over byte-string items (state addresses)."""
+
+    def __init__(self, num_bits: int, num_hashes: int) -> None:
+        """Create an empty filter with ``num_bits`` bits and ``num_hashes`` probes."""
+        if num_bits < 8:
+            num_bits = 8
+        if num_hashes < 1:
+            raise StorageError("bloom filter needs at least one hash function")
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self._bits = bytearray((num_bits + 7) // 8)
+        self._count = 0
+
+    @classmethod
+    def for_capacity(cls, capacity: int, bits_per_key: int, num_hashes: int) -> "BloomFilter":
+        """Size a filter for ``capacity`` expected keys at ``bits_per_key``."""
+        return cls(max(8, capacity * bits_per_key), num_hashes)
+
+    # -- membership ----------------------------------------------------------
+
+    def add(self, item: bytes) -> None:
+        """Insert ``item`` into the filter."""
+        for position in self._positions(item):
+            self._bits[position >> 3] |= 1 << (position & 7)
+        self._count += 1
+
+    def __contains__(self, item: bytes) -> bool:
+        return all(
+            self._bits[position >> 3] & (1 << (position & 7))
+            for position in self._positions(item)
+        )
+
+    def may_contain(self, item: bytes) -> bool:
+        """True if ``item`` may be present (false positives possible)."""
+        return item in self
+
+    def _positions(self, item: bytes) -> list[int]:
+        digest = hashlib.sha256(item).digest()
+        h1 = int.from_bytes(digest[:16], "big")
+        h2 = int.from_bytes(digest[16:], "big") | 1  # odd => full cycle
+        return [(h1 + i * h2) % self.num_bits for i in range(self.num_hashes)]
+
+    # -- statistics ----------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Number of ``add`` calls so far."""
+        return self._count
+
+    def false_positive_rate(self) -> float:
+        """Theoretical false-positive probability at the current load."""
+        if self._count == 0:
+            return 0.0
+        k, n, m = self.num_hashes, self._count, self.num_bits
+        return (1.0 - math.exp(-k * n / m)) ** k
+
+    # -- serialization (part of provenance proofs) ----------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize to a stable byte string (used in proofs and digests)."""
+        header = encode_u32(self.num_bits) + encode_u32(self.num_hashes) + encode_u32(self._count)
+        return header + bytes(self._bits)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BloomFilter":
+        """Reconstruct a filter serialized by :meth:`to_bytes`."""
+        if len(data) < 12:
+            raise StorageError("truncated bloom filter")
+        num_bits = decode_u32(data, 0)
+        num_hashes = decode_u32(data, 4)
+        count = decode_u32(data, 8)
+        bloom = cls(num_bits, num_hashes)
+        payload = data[12:]
+        if len(payload) != len(bloom._bits):
+            raise StorageError("bloom filter payload size mismatch")
+        bloom._bits = bytearray(payload)
+        bloom._count = count
+        return bloom
+
+    def digest(self) -> Digest:
+        """Digest of the serialized filter (folded into the state root, §4)."""
+        return hash_bytes(self.to_bytes())
+
+    def size_bytes(self) -> int:
+        """Serialized size in bytes (counted in storage accounting)."""
+        return 12 + len(self._bits)

@@ -1,0 +1,15 @@
+"""Blockchain substrate: blocks, transactions, contracts, execution.
+
+This package replaces the paper's Rust EVM test driver: smart contracts
+are Python classes that read and write ledger state through a
+:class:`StorageBackend`, the executor packs transactions into blocks and
+commits a state root per block — exercising whichever storage engine
+(COLE or a baseline) it is given, exactly as the paper's evaluation does.
+"""
+
+from repro.chain.backend import StorageBackend
+from repro.chain.block import Block, BlockHeader
+from repro.chain.transaction import Transaction
+from repro.chain.executor import BlockExecutor
+
+__all__ = ["StorageBackend", "Block", "BlockHeader", "Transaction", "BlockExecutor"]

@@ -1,0 +1,70 @@
+"""Blocks and block headers (Figure 2).
+
+A header carries the previous block hash, a timestamp, consensus payload,
+the transaction MHT root ``Htx`` and the state root ``Hstate``.  The body
+holds the transactions; states live in the storage engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.chain.transaction import Transaction
+from repro.common.codec import encode_u64
+from repro.common.hashing import Digest, hash_concat
+from repro.merkle import MerkleTree
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    """The authenticated block header."""
+
+    height: int
+    prev_hash: Digest
+    timestamp: int
+    consensus: bytes
+    tx_root: Digest
+    state_root: Digest
+
+    def digest(self) -> Digest:
+        """The block hash chained into the next header."""
+        return hash_concat(
+            [
+                encode_u64(self.height),
+                self.prev_hash,
+                encode_u64(self.timestamp),
+                self.consensus,
+                self.tx_root,
+                self.state_root,
+            ]
+        )
+
+
+@dataclass(frozen=True)
+class Block:
+    """Header plus transaction body."""
+
+    header: BlockHeader
+    transactions: List[Transaction] = field(default_factory=list)
+
+    @staticmethod
+    def build(
+        height: int,
+        prev_hash: Digest,
+        transactions: List[Transaction],
+        state_root: Digest,
+        timestamp: int = 0,
+        consensus: bytes = b"",
+    ) -> "Block":
+        """Assemble a block, computing ``Htx`` from the transactions."""
+        tx_tree = MerkleTree([tx.to_bytes() for tx in transactions], fanout=2)
+        header = BlockHeader(
+            height=height,
+            prev_hash=prev_hash,
+            timestamp=timestamp,
+            consensus=consensus,
+            tx_root=tx_tree.root,
+            state_root=state_root,
+        )
+        return Block(header=header, transactions=list(transactions))

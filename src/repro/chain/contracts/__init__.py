@@ -1,0 +1,14 @@
+"""Smart contracts: the transaction programs of the evaluation workloads.
+
+The paper runs SmallBank and KVStore (YCSB) from Blockbench [17] on a
+Rust EVM; here each contract is a Python class issuing the identical
+state accesses through the backend's Put/Get interface — the access
+pattern, not the bytecode interpreter, is what exercises the storage
+engines under test.
+"""
+
+from repro.chain.contracts.base import Contract, ExecutionContext
+from repro.chain.contracts.smallbank import SmallBankContract
+from repro.chain.contracts.kvstore import KVStoreContract
+
+__all__ = ["Contract", "ExecutionContext", "SmallBankContract", "KVStoreContract"]

@@ -1,0 +1,66 @@
+"""Contract plumbing: fixed-width state addresses and values.
+
+COLE stores fixed-size addresses and values (Section 2, as in Ethereum);
+the execution context derives a deterministic ``addr_size``-byte address
+for any label and pads/encodes values to ``value_size`` bytes, so every
+engine sees byte-identical state accesses.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import StorageError
+from repro.common.hashing import hash_bytes
+
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    """Address/value geometry shared by all contracts in a chain."""
+
+    addr_size: int = 32
+    value_size: int = 40
+
+    def address(self, label: str) -> bytes:
+        """Deterministic state address for a human-readable label."""
+        return hash_bytes(label.encode())[: self.addr_size]
+
+    def encode_int(self, number: int) -> bytes:
+        """Encode an integer state value (balances) at full width."""
+        if number < 0:
+            number += 1 << (8 * self.value_size)  # two's complement
+        return number.to_bytes(self.value_size, "big")
+
+    def decode_int(self, value: Optional[bytes]) -> int:
+        """Inverse of :meth:`encode_int`; missing state decodes to 0."""
+        if value is None:
+            return 0
+        number = int.from_bytes(value, "big")
+        half = 1 << (8 * self.value_size - 1)
+        if number >= half:
+            number -= 1 << (8 * self.value_size)
+        return number
+
+    def encode_blob(self, data: bytes) -> bytes:
+        """Pad or truncate an arbitrary payload to the value width."""
+        if len(data) > self.value_size:
+            return data[: self.value_size]
+        return data + b"\x00" * (self.value_size - len(data))
+
+
+class Contract(abc.ABC):
+    """A transaction program operating on backend state."""
+
+    name: str = "contract"
+
+    def __init__(self, context: ExecutionContext) -> None:
+        self.context = context
+
+    @abc.abstractmethod
+    def execute(self, backend, op: str, args: tuple) -> object:
+        """Run one operation against ``backend`` (Put/Get interface)."""
+
+    def _unknown_op(self, op: str) -> StorageError:
+        return StorageError(f"{self.name}: unknown operation {op!r}")

@@ -1,0 +1,31 @@
+"""The KVStore contract (Blockbench [17] driven by YCSB [9]).
+
+A thin get/put contract: the YCSB workload generator supplies string keys
+and payloads; the contract maps them to fixed-width state addresses and
+values.
+"""
+
+from __future__ import annotations
+
+from repro.chain.contracts.base import Contract
+
+
+class KVStoreContract(Contract):
+    """Operations: ``read`` and ``write``."""
+
+    name = "kvstore"
+
+    def key_addr(self, key: str) -> bytes:
+        """State address of a YCSB key."""
+        return self.context.address(f"kv:{key}")
+
+    def execute(self, backend, op: str, args: tuple) -> object:
+        if op == "read":
+            (key,) = args
+            return backend.get(self.key_addr(key))
+        if op == "write":
+            key, payload = args
+            data = payload.encode() if isinstance(payload, str) else payload
+            backend.put(self.key_addr(key), self.context.encode_blob(data))
+            return None
+        raise self._unknown_op(op)

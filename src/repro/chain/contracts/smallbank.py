@@ -1,0 +1,81 @@
+"""The SmallBank contract (Blockbench [17]): simulated account transfers.
+
+Each customer holds a *savings* and a *checking* account, each a ledger
+state.  The six classic operations are implemented with the standard
+read/write patterns, so a SmallBank transaction issues 1-4 state accesses
+against the storage engine.
+"""
+
+from __future__ import annotations
+
+from repro.chain.contracts.base import Contract, ExecutionContext
+
+
+class SmallBankContract(Contract):
+    """Operations: amalgamate, get_balance, update_balance (deposit
+    checking), update_saving, send_payment, write_check."""
+
+    name = "smallbank"
+
+    def savings_addr(self, customer: str) -> bytes:
+        """State address of a customer's savings account."""
+        return self.context.address(f"sb:s:{customer}")
+
+    def checking_addr(self, customer: str) -> bytes:
+        """State address of a customer's checking account."""
+        return self.context.address(f"sb:c:{customer}")
+
+    def execute(self, backend, op: str, args: tuple) -> object:
+        context = self.context
+        if op == "get_balance":
+            (customer,) = args
+            savings = context.decode_int(backend.get(self.savings_addr(customer)))
+            checking = context.decode_int(backend.get(self.checking_addr(customer)))
+            return savings + checking
+        if op == "update_balance":  # deposit to checking
+            customer, amount = args
+            addr = self.checking_addr(customer)
+            balance = context.decode_int(backend.get(addr))
+            backend.put(addr, context.encode_int(balance + amount))
+            return balance + amount
+        if op == "update_saving":
+            customer, amount = args
+            addr = self.savings_addr(customer)
+            balance = context.decode_int(backend.get(addr))
+            backend.put(addr, context.encode_int(balance + amount))
+            return balance + amount
+        if op == "send_payment":
+            sender, receiver, amount = args
+            src = self.checking_addr(sender)
+            dst = self.checking_addr(receiver)
+            src_balance = context.decode_int(backend.get(src))
+            dst_balance = context.decode_int(backend.get(dst))
+            backend.put(src, context.encode_int(src_balance - amount))
+            backend.put(dst, context.encode_int(dst_balance + amount))
+            return src_balance - amount
+        if op == "write_check":
+            customer, amount = args
+            addr = self.checking_addr(customer)
+            balance = context.decode_int(backend.get(addr))
+            backend.put(addr, context.encode_int(balance - amount))
+            return balance - amount
+        if op == "amalgamate":
+            customer, target = args
+            savings_addr = self.savings_addr(customer)
+            checking_addr = self.checking_addr(customer)
+            target_addr = self.checking_addr(target)
+            total = (
+                self.context.decode_int(backend.get(savings_addr))
+                + self.context.decode_int(backend.get(checking_addr))
+            )
+            target_balance = self.context.decode_int(backend.get(target_addr))
+            backend.put(savings_addr, context.encode_int(0))
+            backend.put(checking_addr, context.encode_int(0))
+            backend.put(target_addr, context.encode_int(target_balance + total))
+            return target_balance + total
+        if op == "create_account":
+            customer, savings, checking = args
+            backend.put(self.savings_addr(customer), context.encode_int(savings))
+            backend.put(self.checking_addr(customer), context.encode_int(checking))
+            return None
+        raise self._unknown_op(op)

@@ -1,0 +1,41 @@
+"""Transactions: contract invocations recorded in blocks (Section 2).
+
+A transaction names a contract, an operation and its arguments; its
+serialization feeds the block's transaction MHT (``Htx``) and doubles as
+the write-ahead log used for crash recovery (Section 4.3: "COLE uses
+transaction logs as the Write Ahead Log").
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.common.hashing import Digest, hash_bytes
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One contract invocation."""
+
+    contract: str
+    op: str
+    args: Tuple
+
+    def to_bytes(self) -> bytes:
+        """Canonical serialization (hashing and the WAL)."""
+        return json.dumps(
+            {"c": self.contract, "o": self.op, "a": list(self.args)},
+            separators=(",", ":"),
+            sort_keys=True,
+        ).encode()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Transaction":
+        payload = json.loads(data.decode())
+        return cls(contract=payload["c"], op=payload["o"], args=tuple(payload["a"]))
+
+    def digest(self) -> Digest:
+        """Transaction hash (a leaf of the block's tx MHT)."""
+        return hash_bytes(self.to_bytes())

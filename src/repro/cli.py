@@ -1,0 +1,112 @@
+"""Command-line interface: inspect workspaces and run experiments.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli info /path/to/cole-workspace
+    python -m repro.cli experiment fig9 [--heights 30,100] [--engines mpt,cole]
+    python -m repro.cli experiment table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.report import format_bytes, format_table
+from repro.core.manifest import load_manifest
+
+_EXPERIMENTS = {
+    "fig9": ("run_overall_performance", {"workload_name": "smallbank"}),
+    "fig10": ("run_overall_performance", {"workload_name": "kvstore"}),
+    "fig11": ("run_workload_mix", {}),
+    "fig12": ("run_latency", {}),
+    "fig13": ("run_size_ratio", {}),
+    "fig14": ("run_provenance_range", {}),
+    "fig15": ("run_mht_fanout", {}),
+    "table1": ("run_complexity_table", {}),
+    "index-share": ("run_index_share", {}),
+}
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """Print the manifest and file inventory of a COLE workspace."""
+    import os
+
+    manifest = load_manifest(args.workspace)
+    print(f"workspace:        {args.workspace}")
+    print(f"checkpoint block: {manifest.checkpoint_blk}")
+    print(f"async merge:      {manifest.async_merge}")
+    rows = []
+    total = 0
+    for level, groups in sorted(manifest.levels.items()):
+        for role, records in groups.items():
+            for record in records:
+                size = 0
+                for suffix in (".val", ".idx", ".mrk", ".blm"):
+                    path = os.path.join(args.workspace, record.name + suffix)
+                    if os.path.exists(path):
+                        size += os.path.getsize(path)
+                total += size
+                rows.append(
+                    [level, role, record.name, record.num_entries, format_bytes(size)]
+                )
+    print(format_table(["level", "group", "run", "entries", "size"], rows))
+    print(f"total committed run bytes: {format_bytes(total)}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """Run one paper experiment and print its series."""
+    from repro.bench import experiments
+
+    name = args.name
+    if name not in _EXPERIMENTS:
+        print(f"unknown experiment {name!r}; choose from {sorted(_EXPERIMENTS)}")
+        return 2
+    function_name, kwargs = _EXPERIMENTS[name]
+    driver = getattr(experiments, function_name)
+    call_kwargs = dict(kwargs)
+    if args.heights and "heights" in driver.__code__.co_varnames:
+        call_kwargs["heights"] = tuple(int(h) for h in args.heights.split(","))
+    if args.engines and "engines" in driver.__code__.co_varnames:
+        call_kwargs["engines"] = tuple(args.engines.split(","))
+    result = driver(**call_kwargs)
+    if isinstance(result, dict):
+        for key, value in result.items():
+            print(f"{key}: {value}")
+        return 0
+    if result:
+        headers = list(result[0].keys())
+        print(format_table(headers, [[row.get(h, "") for h in headers] for row in result]))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="COLE reproduction utilities"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="inspect a COLE workspace")
+    info.add_argument("workspace", help="workspace directory")
+    info.set_defaults(func=cmd_info)
+
+    experiment = sub.add_parser("experiment", help="run a paper experiment")
+    experiment.add_argument("name", help=f"one of {sorted(_EXPERIMENTS)}")
+    experiment.add_argument("--heights", help="comma-separated block heights")
+    experiment.add_argument("--engines", help="comma-separated engine names")
+    experiment.set_defaults(func=cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Shared low-level utilities: hashing, codecs, parameters, errors.
+
+Everything in this package is dependency-free and used by every other
+subsystem in the reproduction.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    StorageError,
+    IntegrityError,
+    VerificationError,
+    RecoveryError,
+)
+from repro.common.hashing import (
+    DIGEST_SIZE,
+    EMPTY_DIGEST,
+    Digest,
+    hash_bytes,
+    hash_concat,
+    hash_pair,
+)
+from repro.common.params import ColeParams, SystemParams
+from repro.common.codec import (
+    decode_u32,
+    decode_u64,
+    encode_u32,
+    encode_u64,
+    int_from_bytes,
+    int_to_bytes,
+    pack_float,
+    unpack_float,
+)
+
+__all__ = [
+    "ReproError",
+    "StorageError",
+    "IntegrityError",
+    "VerificationError",
+    "RecoveryError",
+    "DIGEST_SIZE",
+    "EMPTY_DIGEST",
+    "Digest",
+    "hash_bytes",
+    "hash_concat",
+    "hash_pair",
+    "ColeParams",
+    "SystemParams",
+    "encode_u32",
+    "decode_u32",
+    "encode_u64",
+    "decode_u64",
+    "int_to_bytes",
+    "int_from_bytes",
+    "pack_float",
+    "unpack_float",
+]

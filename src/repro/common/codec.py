@@ -1,0 +1,58 @@
+"""Fixed-width binary codecs.
+
+Every on-disk structure in the reproduction is built from a handful of
+primitives: unsigned 32/64-bit integers, big-endian arbitrary-width
+integers (addresses, compound keys) and IEEE-754 doubles (learned-model
+slopes and intercepts).  Centralizing them keeps file formats consistent
+and makes the byte-level tests easy to write.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+_F64 = struct.Struct(">d")
+
+U64_MAX = 2**64 - 1
+
+
+def encode_u32(value: int) -> bytes:
+    """Encode ``value`` as a big-endian unsigned 32-bit integer."""
+    return _U32.pack(value)
+
+
+def decode_u32(data: bytes, offset: int = 0) -> int:
+    """Decode a big-endian unsigned 32-bit integer at ``offset``."""
+    return _U32.unpack_from(data, offset)[0]
+
+
+def encode_u64(value: int) -> bytes:
+    """Encode ``value`` as a big-endian unsigned 64-bit integer."""
+    return _U64.pack(value)
+
+
+def decode_u64(data: bytes, offset: int = 0) -> int:
+    """Decode a big-endian unsigned 64-bit integer at ``offset``."""
+    return _U64.unpack_from(data, offset)[0]
+
+
+def pack_float(value: float) -> bytes:
+    """Encode ``value`` as a big-endian IEEE-754 double."""
+    return _F64.pack(value)
+
+
+def unpack_float(data: bytes, offset: int = 0) -> float:
+    """Decode a big-endian IEEE-754 double at ``offset``."""
+    return _F64.unpack_from(data, offset)[0]
+
+
+def int_to_bytes(value: int, width: int) -> bytes:
+    """Encode a non-negative integer as ``width`` big-endian bytes."""
+    return value.to_bytes(width, "big")
+
+
+def int_from_bytes(data: bytes) -> int:
+    """Decode a big-endian unsigned integer of any width."""
+    return int.from_bytes(data, "big")

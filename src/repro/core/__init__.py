@@ -1,0 +1,29 @@
+"""COLE: the column-based learned storage itself (Sections 3-6).
+
+Public surface:
+
+* :class:`Cole` — the storage engine (``put`` / ``get`` / ``prov_query`` /
+  ``root_digest``), in synchronous (Algorithm 1) or checkpoint-based
+  asynchronous-merge (Algorithm 5, "COLE*") mode;
+* :func:`verify_provenance` — client-side verification of provenance
+  results against the state root digest in a block header;
+* :class:`CompoundKey` — the ``<addr, blk>`` key of Section 3.2;
+* :func:`rewind_to` — fork support (state rewind), the paper's stated
+  future work, implemented as filter-and-rebuild.
+"""
+
+from repro.core.compound import CompoundKey, MAX_BLK
+from repro.core.storage import Cole
+from repro.core.proofs import ProvenanceProof, ProvenanceResult
+from repro.core.verify import verify_provenance
+from repro.core.rewind import rewind_to
+
+__all__ = [
+    "Cole",
+    "rewind_to",
+    "CompoundKey",
+    "MAX_BLK",
+    "ProvenanceProof",
+    "ProvenanceResult",
+    "verify_provenance",
+]

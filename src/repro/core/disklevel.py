@@ -1,0 +1,88 @@
+"""On-disk levels: groups of sorted runs (Sections 4 and 5).
+
+In synchronous mode (Algorithm 1) a level is a single group of up to ``T``
+runs.  With asynchronous merge (Algorithm 5, Figure 7) a level holds two
+groups with mutually exclusive roles — *writing* (accepts newly committed
+runs from the level above) and *merging* (its runs are being merged into
+the next level by a background thread) — which are switched at every
+commit checkpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional
+
+from repro.core.run import Run
+
+
+class DiskGroup:
+    """An ordered list of committed runs (oldest first)."""
+
+    def __init__(self) -> None:
+        self.runs: List[Run] = []
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def newest_first(self) -> List[Run]:
+        """Runs in search order (Algorithm 6: freshness order)."""
+        return list(reversed(self.runs))
+
+    def add(self, run: Run) -> None:
+        """Append a newly committed run (it becomes the newest)."""
+        self.runs.append(run)
+
+    def delete_all(self) -> None:
+        """Remove every run's files (after their merge is committed)."""
+        for run in self.runs:
+            run.delete()
+        self.runs.clear()
+
+
+class PendingMerge:
+    """A background merge: the thread plus its (uncommitted) output run.
+
+    The output run's files exist on disk but the run belongs to no group
+    and no ``root_hash_list`` entry until the commit checkpoint — queries
+    cannot see it, which is exactly the "uncommitted file" state of
+    Figure 8.
+    """
+
+    def __init__(self, thread: threading.Thread) -> None:
+        self.thread = thread
+        self.output: Optional[Run] = None
+        self.checkpoint_puts: int = 0  # put counter covered by the output run
+        self.checkpoint_blk: int = -1  # block height covered by the output run
+        self.error: Optional[BaseException] = None
+
+    def wait(self) -> None:
+        """Block until the merge thread finishes (Algorithm 5 line 9)."""
+        if self.thread.is_alive() or self.thread.ident is not None:
+            self.thread.join()
+        if self.error is not None:
+            raise self.error
+
+
+class DiskLevel:
+    """One on-disk level: writing group, merging group, active merge."""
+
+    def __init__(self, level: int) -> None:
+        self.level = level
+        self.writing = DiskGroup()
+        self.merging = DiskGroup()
+        self.pending: Optional[PendingMerge] = None
+
+    def switch_groups(self) -> None:
+        """Swap the writing / merging roles (Algorithm 5 line 13)."""
+        self.writing, self.merging = self.merging, self.writing
+
+    def search_order(self) -> List[Run]:
+        """Committed runs in Algorithm 6 order: writing then merging,
+        each newest first."""
+        return self.writing.newest_first() + self.merging.newest_first()
+
+    def all_runs(self) -> List[Run]:
+        """Every committed run in ``root_hash_list`` order (writing group
+        oldest-first, then merging group oldest-first)."""
+        return list(self.writing.runs) + list(self.merging.runs)

@@ -1,0 +1,208 @@
+"""Index files: the layered learned index of one run (Section 4.1).
+
+Layout (all in fixed-size pages):
+
+* layer 0 (bottom): ε-bounded models over (compound key, value-file
+  position), written streamingly while the run is merged (Algorithm 3
+  line 3);
+* layers 1..top: models over (kmin, model position in the layer below),
+  each built by scanning the layer below (Algorithm 3 lines 5-8), until a
+  layer fits in a single page;
+* a final metadata page recording the layer table, so a reader can start
+  from the top layer ("FI's last page", Algorithm 7 line 4).
+
+Each layer starts on a fresh page.  The bottom layer uses the value file's
+ε (2ε = pairs per page); upper layers use the index file's own page
+capacity (2ε' = models per page) so the ±1-page fallback of Algorithm 7
+works for every layer it descends through.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.common.codec import decode_u32, decode_u64, encode_u32, encode_u64
+from repro.common.errors import StorageError
+from repro.common.params import SystemParams
+from repro.diskio.pagefile import PagedFile
+from repro.learned.model import Model
+from repro.learned.plm import build_models
+
+_MAGIC = b"CIDX"
+
+
+@dataclass(frozen=True)
+class LayerInfo:
+    """Placement of one model layer inside the index file."""
+
+    start_page: int
+    num_models: int
+
+    def num_pages(self, models_per_page: int) -> int:
+        """Pages occupied by this layer."""
+        return max(1, -(-self.num_models // models_per_page))
+
+
+class IndexFileBuilder:
+    """Streaming construction of the full layered index (Algorithm 3)."""
+
+    def __init__(self, file: PagedFile, params: SystemParams) -> None:
+        self._file = file
+        self._params = params
+        self._record_size = Model.record_size(params.key_size)
+        self.models_per_page = max(2, params.page_size // self._record_size)
+        self._layers: List[LayerInfo] = []
+        self._page_buffer = bytearray()
+        self._bottom_count = 0
+        self._bottom_kmins: List[int] = []
+
+    # -- bottom layer (streamed during the merge) ------------------------------
+
+    def add_bottom_models(self, stream: Iterable[Tuple[int, int]]) -> None:
+        """Learn and write the bottom layer from a (key, position) stream."""
+        epsilon = self._params.epsilon
+        for model in build_models(stream, epsilon):
+            self._write_model(model)
+            self._bottom_kmins.append(model.kmin)
+            self._bottom_count += 1
+
+    def _write_model(self, model: Model) -> None:
+        self._page_buffer += model.to_bytes(self._params.key_size)
+        if len(self._page_buffer) + self._record_size > self._params.page_size:
+            self._file.append_page(bytes(self._page_buffer))
+            self._page_buffer.clear()
+
+    def _flush_page(self) -> None:
+        if self._page_buffer:
+            self._file.append_page(bytes(self._page_buffer))
+            self._page_buffer.clear()
+
+    # -- upper layers + metadata ------------------------------------------------
+
+    def finish(self) -> List[LayerInfo]:
+        """Build the upper layers and the metadata page; returns the table."""
+        if self._bottom_count == 0:
+            raise StorageError("index file needs at least one model")
+        self._flush_page()
+        self._layers.append(LayerInfo(start_page=0, num_models=self._bottom_count))
+        kmins = self._bottom_kmins
+        index_epsilon = self.models_per_page // 2
+        while self._layers[-1].num_models > self.models_per_page:
+            next_page = self._file.num_pages
+            stream = ((kmin, position) for position, kmin in enumerate(kmins))
+            upper_kmins: List[int] = []
+            count = 0
+            for model in build_models(stream, index_epsilon):
+                self._write_model(model)
+                upper_kmins.append(model.kmin)
+                count += 1
+            self._flush_page()
+            self._layers.append(LayerInfo(start_page=next_page, num_models=count))
+            kmins = upper_kmins
+        self._write_metadata()
+        self._file.flush()
+        return list(self._layers)
+
+    def _write_metadata(self) -> None:
+        payload = bytearray(_MAGIC)
+        payload += encode_u32(len(self._layers))
+        payload += encode_u32(self.models_per_page)
+        for layer in self._layers:
+            payload += encode_u64(layer.start_page)
+            payload += encode_u64(layer.num_models)
+        if len(payload) > self._params.page_size:
+            raise StorageError("index layer table does not fit in one page")
+        self._file.append_page(bytes(payload))
+
+
+class IndexFile:
+    """Read access to a finished index file."""
+
+    def __init__(self, file: PagedFile, params: SystemParams) -> None:
+        self._file = file
+        self._params = params
+        self._record_size = Model.record_size(params.key_size)
+        self._layers, self.models_per_page = self._read_metadata()
+
+    def _read_metadata(self) -> Tuple[List[LayerInfo], int]:
+        data = self._file.read_page(self._file.num_pages - 1)
+        if data[:4] != _MAGIC:
+            raise StorageError("index file metadata page is corrupt")
+        num_layers = decode_u32(data, 4)
+        models_per_page = decode_u32(data, 8)
+        layers: List[LayerInfo] = []
+        offset = 12
+        for _ in range(num_layers):
+            start_page = decode_u64(data, offset)
+            num_models = decode_u64(data, offset + 8)
+            layers.append(LayerInfo(start_page=start_page, num_models=num_models))
+            offset += 16
+        return layers, models_per_page
+
+    @property
+    def num_layers(self) -> int:
+        """Number of model layers (bottom included)."""
+        return len(self._layers)
+
+    @property
+    def num_bottom_models(self) -> int:
+        """Models in the bottom layer (useful for ablation statistics)."""
+        return self._layers[0].num_models
+
+    # -- model access -------------------------------------------------------------
+
+    def _models_on_page(self, layer: LayerInfo, page_offset: int) -> List[Model]:
+        data = self._file.read_page(layer.start_page + page_offset)
+        first = page_offset * self.models_per_page
+        count = min(self.models_per_page, layer.num_models - first)
+        return [
+            Model.from_bytes(data, self._params.key_size, slot * self._record_size)
+            for slot in range(count)
+        ]
+
+    def _floor_model_in_layer(
+        self, layer: LayerInfo, predicted_position: int, key: int
+    ) -> Optional[Tuple[Model, int]]:
+        """The model with the largest ``kmin <= key`` near ``predicted_position``.
+
+        Implements QueryModel's page-stepping (Algorithm 7 lines 13-19):
+        fetch the predicted page, step one page left/right if the key falls
+        outside it, then binary search within the page.
+        """
+        last_page = layer.num_pages(self.models_per_page) - 1
+        page = min(max(predicted_position, 0), layer.num_models - 1) // self.models_per_page
+        models = self._models_on_page(layer, page)
+        while key < models[0].kmin and page > 0:
+            page -= 1
+            models = self._models_on_page(layer, page)
+        if key < models[0].kmin:
+            return None  # key precedes every model in the run
+        if key > models[-1].kmin and page < last_page:
+            next_models = self._models_on_page(layer, page + 1)
+            if key >= next_models[0].kmin:
+                page += 1
+                models = next_models
+        kmins = [model.kmin for model in models]
+        slot = bisect.bisect_right(kmins, key) - 1
+        return models[slot], page * self.models_per_page + slot
+
+    def search(self, key: int) -> Optional[int]:
+        """Predicted value-file position for ``key`` (Algorithm 7 lines 4-8).
+
+        Returns ``None`` when ``key`` precedes every key in the run; the
+        returned position is within ε of the true floor position.
+        """
+        top = self._layers[-1]
+        found = self._floor_model_in_layer(top, 0, key)
+        if found is None:
+            return None
+        model, _position = found
+        for layer in reversed(self._layers[:-1]):
+            predicted = model.predict(key)
+            found = self._floor_model_in_layer(layer, predicted, key)
+            if found is None:
+                return None
+            model, _position = found
+        return model.predict(key)

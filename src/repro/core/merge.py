@@ -1,0 +1,35 @@
+"""Sort-merge of runs (Algorithm 1 line 9 / Algorithm 5 line 19).
+
+Compound keys are globally unique (one ``<addr, blk>`` pair is written at
+most once — re-updates within a block overwrite in L0), so the k-way merge
+is a plain heap merge; equal keys would indicate corruption and are
+resolved in favour of the newest run for defence in depth.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator, List, Tuple
+
+Entry = Tuple[int, bytes]
+
+
+def _tag_stream(stream: Iterable[Entry], priority: int) -> Iterator[Tuple[int, int, bytes]]:
+    """Bind the stream's merge priority eagerly (avoids late-binding bugs)."""
+    for key, value in stream:
+        yield key, priority, value
+
+
+def merge_entry_streams(streams: List[Iterable[Entry]]) -> Iterator[Entry]:
+    """Merge sorted entry streams; ``streams`` are ordered oldest first.
+
+    On duplicate keys the entry from the newest stream wins (higher list
+    index = newer run).
+    """
+    tagged = [_tag_stream(stream, -index) for index, stream in enumerate(streams)]
+    last_key: int | None = None
+    for key, _priority, value in heapq.merge(*tagged):
+        if key == last_key:
+            continue  # older duplicate, already emitted the newest
+        last_key = key
+        yield key, value

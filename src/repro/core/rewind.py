@@ -1,0 +1,106 @@
+"""State rewind — the paper's future-work extension (Section 10).
+
+COLE is designed for non-forking chains because the LSM merge makes
+in-place deletion awkward (Section 4.3).  The paper leaves "efficient
+strategies to remove the rewound states" as future work; this module
+implements the straightforward-but-correct strategy: filter every
+structure to versions at or below the target block and rebuild the
+affected runs.  Cost is O(n) over the affected runs — acceptable for the
+rare reorg — and the result is a fully consistent engine whose
+``Hstate`` is deterministic (two nodes rewinding the same chain to the
+same height agree byte-for-byte).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.compound import blk_of_int
+from repro.core.run import Run
+
+
+def rewind_to(cole, target_blk: int) -> int:
+    """Discard every state version newer than ``target_blk``.
+
+    Returns the number of versions discarded.  Pending asynchronous
+    merges are drained first (their outputs are rebuilt or discarded with
+    everything else); the engine afterwards behaves as if block
+    ``target_blk`` had just been committed.
+    """
+    if target_blk < 0:
+        raise ValueError("cannot rewind to a negative block height")
+    cole.wait_for_merges()
+    _discard_pending(cole)
+    dropped = 0
+    dropped += _rewind_mem_group(cole.mem_writing, target_blk)
+    if cole.params.async_merge:
+        dropped += _rewind_mem_group(cole.mem_merging, target_blk)
+    for level in cole.levels:
+        for group in (level.writing, level.merging):
+            rebuilt: List[Run] = []
+            for run in group.runs:
+                kept, removed = _filter_run(cole, run, target_blk)
+                dropped += removed
+                if kept is not None:
+                    rebuilt.append(kept)
+            group.runs = rebuilt
+    cole.current_blk = min(cole.current_blk, target_blk)
+    cole._checkpoint_blk = min(cole._checkpoint_blk, target_blk)
+    cole._save_manifest()
+    return dropped
+
+
+def _discard_pending(cole) -> None:
+    """Drop finished-but-uncommitted merge outputs; they will be redone."""
+    if cole.mem_pending is not None:
+        output = cole.mem_pending.output
+        if output is not None:
+            output.delete()
+        cole.mem_pending = None
+    for level in cole.levels:
+        if level.pending is not None:
+            output = level.pending.output
+            if output is not None:
+                output.delete()
+            level.pending = None
+
+
+def _rewind_mem_group(group, target_blk: int) -> int:
+    """Filter one L0 MB-tree in place (rebuild from surviving entries)."""
+    survivors: List[Tuple[int, bytes]] = [
+        (key, value)
+        for key, value in group.tree.items()
+        if blk_of_int(key) <= target_blk
+    ]
+    removed = len(group.tree) - len(survivors)
+    if removed == 0:
+        return 0
+    group.clear()
+    for key, value in survivors:
+        group.insert(key, value)
+    return removed
+
+
+def _filter_run(cole, run: Run, target_blk: int):
+    """Rebuild ``run`` without post-target versions.
+
+    Returns ``(new_run_or_None, versions_removed)``; the original run's
+    files are deleted whenever a rebuild happens.
+    """
+    survivors: List[Tuple[int, bytes]] = []
+    removed = 0
+    for key, value in run.value_file.iter_entries():
+        if blk_of_int(key) <= target_blk:
+            survivors.append((key, value))
+        else:
+            removed += 1
+    if removed == 0:
+        return run, 0
+    run.delete()
+    if not survivors:
+        return None, removed
+    name = cole._next_run_name(run.level)
+    rebuilt = Run.build(
+        cole.workspace, name, run.level, iter(survivors), len(survivors), cole.params
+    )
+    return rebuilt, removed

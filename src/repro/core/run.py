@@ -1,0 +1,226 @@
+"""On-disk runs: value file + index file + Merkle file + bloom filter.
+
+A run is immutable once built (Section 4: files stay valid until the next
+level merge).  Building consumes a sorted stream of compound key-value
+pairs exactly once, feeding all three files and the bloom filter
+concurrently — the streaming construction of Algorithms 3 and 4.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.bloomfilter import BloomFilter
+from repro.common.errors import StorageError
+from repro.common.hashing import Digest, hash_concat
+from repro.common.params import ColeParams
+from repro.core.compound import addr_of_int
+from repro.core.indexfile import IndexFile, IndexFileBuilder
+from repro.core.merklefile import MerkleFile, MerkleFileBuilder, MerkleRangeProof
+from repro.core.valuefile import ValueFile, ValueFileWriter
+from repro.diskio.workspace import Workspace
+
+Entry = Tuple[int, bytes]
+
+
+@dataclass(frozen=True)
+class RunScan:
+    """Result of a provenance scan over one run (Algorithm 8 lines 13-18).
+
+    ``entries`` are the disclosed pairs at positions ``lo..hi`` (the query
+    results plus up to one boundary pair on each side, needed by the
+    verifier to check completeness).
+    """
+
+    entries: List[Entry]
+    lo: int
+    hi: int
+    proof: MerkleRangeProof
+
+
+class Run:
+    """One immutable sorted run of a COLE on-disk level."""
+
+    def __init__(
+        self,
+        workspace: Workspace,
+        name: str,
+        level: int,
+        num_entries: int,
+        params: ColeParams,
+        merkle_root: Digest,
+        bloom: BloomFilter,
+    ) -> None:
+        self.workspace = workspace
+        self.name = name
+        self.level = level
+        self.num_entries = num_entries
+        self.params = params
+        self.merkle_root = merkle_root
+        self.bloom = bloom
+        system = params.system
+        self.value_file = ValueFile(
+            workspace.open_file(f"{name}.val", category="value"), num_entries, system
+        )
+        self.index_file = IndexFile(
+            workspace.open_file(f"{name}.idx", category="index"), system
+        )
+        self.merkle_file = MerkleFile(
+            workspace.open_file(f"{name}.mrk", category="merkle"),
+            num_entries,
+            params.mht_fanout,
+        )
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        workspace: Workspace,
+        name: str,
+        level: int,
+        entries: Iterable[Entry],
+        num_entries: int,
+        params: ColeParams,
+    ) -> "Run":
+        """Build a run by streaming ``entries`` (sorted, exact count) once."""
+        system = params.system
+        value_writer = ValueFileWriter(
+            workspace.open_file(f"{name}.val", category="value"), system
+        )
+        index_builder = IndexFileBuilder(
+            workspace.open_file(f"{name}.idx", category="index"), system
+        )
+        merkle_builder = MerkleFileBuilder(
+            workspace.open_file(f"{name}.mrk", category="merkle"),
+            num_entries,
+            params.mht_fanout,
+            system.key_size,
+        )
+        bloom = BloomFilter.for_capacity(
+            num_entries, params.bloom_bits_per_key, params.bloom_hashes
+        )
+
+        def tee() -> Iterable[Tuple[int, int]]:
+            """Feed value/Merkle/bloom, yielding (key, position) for the index."""
+            for key, value in entries:
+                position = value_writer.add(key, value)
+                merkle_builder.add(key, value)
+                bloom.add(addr_of_int(key, system.addr_size))
+                yield key, position
+
+        index_builder.add_bottom_models(tee())
+        count = value_writer.finish()
+        if count != num_entries:
+            raise StorageError(
+                f"run {name}: declared {num_entries} entries, streamed {count}"
+            )
+        index_builder.finish()
+        merkle_root = merkle_builder.finish()
+        _persist_bloom(workspace, name, bloom)
+        run = cls(workspace, name, level, num_entries, params, merkle_root, bloom)
+        return run
+
+    @classmethod
+    def load(
+        cls,
+        workspace: Workspace,
+        name: str,
+        level: int,
+        num_entries: int,
+        params: ColeParams,
+        merkle_root: Digest,
+    ) -> "Run":
+        """Re-open a run recorded in the manifest (crash recovery, §4.3)."""
+        bloom = _load_bloom(workspace, name)
+        return cls(workspace, name, level, num_entries, params, merkle_root, bloom)
+
+    def delete(self) -> None:
+        """Remove all files of this run (after a committed level merge)."""
+        for suffix in (".val", ".idx", ".mrk", ".blm"):
+            self.workspace.remove_file(self.name + suffix)
+
+    # -- authentication -----------------------------------------------------------
+
+    def commitment(self) -> Digest:
+        """The run's entry in ``root_hash_list``: Merkle root + bloom (§4)."""
+        return hash_concat([self.merkle_root, self.bloom.digest()])
+
+    # -- queries -------------------------------------------------------------------
+
+    def may_contain(self, addr: bytes) -> bool:
+        """Bloom pre-check on the address (Algorithm 7 line 2)."""
+        return addr in self.bloom
+
+    def floor_search(self, key: int) -> Optional[Tuple[Entry, int]]:
+        """Largest pair with pair key <= ``key``: learned index + page step.
+
+        Returns ``(entry, position)`` or ``None`` if ``key`` precedes the
+        whole run.  IO cost: one page per index layer (±1 on a miss) plus
+        one or two value-file pages — the ``Cmodel`` of Table 1.
+        """
+        predicted = self.index_file.search(key)
+        if predicted is None:
+            return None
+        return self._floor_entry(key, predicted)
+
+    def _floor_entry(self, key: int, predicted: int) -> Optional[Tuple[Entry, int]]:
+        value_file = self.value_file
+        last_page = value_file.page_of(self.num_entries - 1)
+        page = min(max(predicted, 0), self.num_entries - 1) // value_file.pairs_per_page
+        entries = value_file.read_page_entries(page)
+        while key < entries[0][0] and page > 0:
+            page -= 1
+            entries = value_file.read_page_entries(page)
+        if key < entries[0][0]:
+            return None
+        if key > entries[-1][0] and page < last_page:
+            next_entries = value_file.read_page_entries(page + 1)
+            if key >= next_entries[0][0]:
+                page += 1
+                entries = next_entries
+        found = value_file.floor_in_page(page, key)
+        return found
+
+    def prov_scan(self, key_low: int, key_high: int) -> RunScan:
+        """Disclose the pairs covering ``[key_low, key_high]`` with proof.
+
+        ``lo`` is the floor of ``key_low`` (or position 0), so the verifier
+        sees the boundary pair below the range; ``hi`` extends one past the
+        last in-range pair (or the end of the run), so the verifier sees
+        the boundary pair above the range.
+        """
+        floor = self.floor_search(key_low)
+        lo = floor[1] if floor is not None else 0
+        entries: List[Entry] = []
+        hi = lo
+        for entry, position in self.value_file.scan_from(lo):
+            entries.append(entry)
+            hi = position
+            if entry[0] > key_high:
+                break
+        proof = self.merkle_file.prove_range(lo, hi)
+        return RunScan(entries=entries, lo=lo, hi=hi, proof=proof)
+
+    def storage_bytes(self) -> int:
+        """On-disk footprint of this run's four artifacts."""
+        total = 0
+        for suffix in (".val", ".idx", ".mrk", ".blm"):
+            path = self.workspace.path_of(self.name + suffix)
+            if os.path.exists(path):
+                total += os.path.getsize(path)
+        return total
+
+
+def _persist_bloom(workspace: Workspace, name: str, bloom: BloomFilter) -> None:
+    path = workspace.path_of(f"{name}.blm")
+    with open(path, "wb") as handle:
+        handle.write(bloom.to_bytes())
+
+
+def _load_bloom(workspace: Workspace, name: str) -> BloomFilter:
+    path = workspace.path_of(f"{name}.blm")
+    with open(path, "rb") as handle:
+        return BloomFilter.from_bytes(handle.read())

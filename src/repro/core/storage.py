@@ -1,0 +1,505 @@
+"""COLE, the storage engine (Algorithms 1, 5, 6 and 8).
+
+One :class:`Cole` instance owns a workspace directory.  The write path is
+chosen by ``params.async_merge``:
+
+* synchronous (Algorithm 1): a full level is merged inline, so a single
+  ``put`` can trigger the recursive merge cascade — the write-stall /
+  long-tail-latency behaviour Figure 12 measures;
+* asynchronous (Algorithm 5, "COLE*"): every level keeps two groups with
+  writing/merging roles; merges run in background threads and become
+  visible only at deterministic commit checkpoints, so ``Hstate`` is
+  identical across nodes regardless of merge timing (the soundness
+  argument of Section 5) — and, on a single node, identical to the
+  synchronous engine fed the same puts.
+
+Durability follows Section 4.3: committed runs are named by an atomically
+replaced manifest; on recovery, unnamed files are deleted, the in-memory
+level is rebuilt by replaying puts after the recorded checkpoint, and
+aborted merges restart.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import StorageError
+from repro.common.hashing import Digest, hash_concat
+from repro.common.params import ColeParams
+from repro.core.compound import CompoundKey, MAX_BLK, addr_of_int, blk_of_int
+from repro.core.disklevel import DiskLevel, PendingMerge
+from repro.core.manifest import Manifest, RunRecord, load_manifest, save_manifest
+from repro.core.memlevel import MemGroup
+from repro.core.merge import merge_entry_streams
+from repro.core.proofs import (
+    MemProofItem,
+    ProofItem,
+    ProvenanceProof,
+    ProvenanceResult,
+    RunNegativeItem,
+    RunProofItem,
+    StubItem,
+)
+from repro.core.run import Run
+from repro.diskio.iostats import IOStats
+from repro.diskio.workspace import Workspace
+
+
+class Cole:
+    """The column-based learned storage engine."""
+
+    def __init__(
+        self,
+        directory: str,
+        params: Optional[ColeParams] = None,
+        stats: Optional[IOStats] = None,
+    ) -> None:
+        """Open (creating or recovering) a COLE instance in ``directory``."""
+        self.params = params if params is not None else ColeParams()
+        system = self.params.system
+        self.workspace = Workspace(directory, system.page_size, stats)
+        self.stats = self.workspace.stats
+        key_width = system.key_size
+        self.mem_writing = MemGroup(key_width)
+        self.mem_merging = MemGroup(key_width)
+        self.mem_pending: Optional[PendingMerge] = None
+        self.levels: List[DiskLevel] = []  # levels[i] is on-disk level i+1
+        self.current_blk = 0
+        self.puts_total = 0
+        self._run_seq = 0
+        self._checkpoint_puts = 0
+        self._checkpoint_blk = -1
+        self._recover()
+
+    # =========================================================================
+    # block lifecycle
+    # =========================================================================
+
+    def begin_block(self, height: int) -> None:
+        """Start executing transactions of block ``height``."""
+        if height < self.current_blk:
+            raise StorageError("block heights must be non-decreasing (no forks, §4.3)")
+        self.current_blk = height
+
+    def commit_block(self) -> Digest:
+        """Finalize the current block and return ``Hstate`` (Algorithm 1
+        line 13 / Algorithm 5 line 22).
+
+        Capacity checks run here, at the block boundary, rather than
+        inside ``put``: this keeps every ``<addr, blk>`` compound key
+        globally unique (a block's updates can never straddle a flush) and
+        makes crash-recovery replay block-aligned.  L0 may transiently
+        exceed ``B`` by one block's worth of updates; see DESIGN.md.
+        """
+        if len(self.mem_writing) >= self.params.mem_capacity:
+            if self.params.async_merge:
+                self._async_cascade()
+            else:
+                self._sync_cascade()
+        return self.root_digest()
+
+    # =========================================================================
+    # write path
+    # =========================================================================
+
+    def put(self, addr: bytes, value: bytes) -> None:
+        """Insert a state update for the current block (Put of Section 2)."""
+        system = self.params.system
+        if len(addr) != system.addr_size:
+            raise StorageError(f"address must be {system.addr_size} bytes")
+        key = CompoundKey(addr=addr, blk=self.current_blk).to_int()
+        self.mem_writing.insert(key, value)
+        self.puts_total += 1
+
+    # -- synchronous merge (Algorithm 1) ---------------------------------------
+
+    def _sync_cascade(self) -> None:
+        entries = self.mem_writing.drain()
+        run = self._build_run(1, entries, len(entries))
+        self._ensure_level(1).writing.add(run)
+        self.mem_writing.clear()
+        self._checkpoint_puts = self.puts_total
+        self._checkpoint_blk = self.current_blk
+        index = 0
+        while index < len(self.levels) and len(self.levels[index].writing) >= self.params.size_ratio:
+            level = self.levels[index]
+            target = index + 2  # paper-level number of the output run
+            sources = level.writing.runs
+            total = sum(source.num_entries for source in sources)
+            merged = merge_entry_streams(
+                [source.value_file.iter_entries() for source in sources]
+            )
+            run = self._build_run(target, merged, total)
+            self._ensure_level(target).writing.add(run)
+            level.writing.delete_all()
+            index += 1
+        self._save_manifest()
+
+    # -- asynchronous merge (Algorithm 5) ----------------------------------------
+
+    def _async_cascade(self) -> None:
+        self._checkpoint_mem()
+        index = 0
+        while index < len(self.levels) and len(self.levels[index].writing) >= self.params.size_ratio:
+            self._checkpoint_level(index)
+            index += 1
+        self._save_manifest()
+
+    def _checkpoint_mem(self) -> None:
+        """The L0 commit checkpoint (Algorithm 5, i = 0)."""
+        pending = self.mem_pending
+        if pending is not None:
+            pending.wait()
+            assert pending.output is not None
+            self._ensure_level(1).writing.add(pending.output)
+            self._checkpoint_puts = pending.checkpoint_puts
+            self._checkpoint_blk = pending.checkpoint_blk
+            self.mem_pending = None
+        self.mem_merging.clear()
+        self.mem_writing, self.mem_merging = self.mem_merging, self.mem_writing
+        # The merging group now holds the full tree; flush it in background.
+        source = self.mem_merging
+        entries = source.drain()
+        name = self._next_run_name(1)
+        fill_position = self.puts_total
+        fill_blk = self.current_blk
+        pending = PendingMerge(thread=threading.Thread(target=lambda: None))
+
+        def flush() -> None:
+            try:
+                run = Run.build(
+                    self.workspace, name, 1, iter(entries), len(entries), self.params
+                )
+                pending.output = run
+                pending.checkpoint_puts = fill_position
+                pending.checkpoint_blk = fill_blk
+            except BaseException as exc:  # surfaced at the next checkpoint
+                pending.error = exc
+
+        pending.thread = threading.Thread(target=flush, name=f"cole-flush-{name}")
+        self.mem_pending = pending
+        pending.thread.start()
+
+    def _checkpoint_level(self, index: int) -> None:
+        """The commit checkpoint of on-disk level ``index + 1``."""
+        level = self.levels[index]
+        pending = level.pending
+        if pending is not None:
+            pending.wait()
+            assert pending.output is not None
+            self._ensure_level(index + 2).writing.add(pending.output)
+            level.pending = None
+        level.merging.delete_all()
+        level.switch_groups()
+        sources = list(level.merging.runs)
+        if not sources:
+            return
+        total = sum(source.num_entries for source in sources)
+        name = self._next_run_name(index + 2)
+        pending = PendingMerge(thread=threading.Thread(target=lambda: None))
+
+        def merge() -> None:
+            try:
+                merged = merge_entry_streams(
+                    [source.value_file.iter_entries() for source in sources]
+                )
+                run = Run.build(
+                    self.workspace, name, index + 2, merged, total, self.params
+                )
+                pending.output = run
+            except BaseException as exc:
+                pending.error = exc
+
+        pending.thread = threading.Thread(target=merge, name=f"cole-merge-{name}")
+        level.pending = pending
+        pending.thread.start()
+
+    # -- shared write helpers -------------------------------------------------------
+
+    def _build_run(self, level: int, entries, total: int) -> Run:
+        name = self._next_run_name(level)
+        return Run.build(self.workspace, name, level, iter(entries), total, self.params)
+
+    def _next_run_name(self, level: int) -> str:
+        name = f"L{level}_{self._run_seq:08d}"
+        self._run_seq += 1
+        return name
+
+    def _ensure_level(self, paper_level: int) -> DiskLevel:
+        while len(self.levels) < paper_level:
+            self.levels.append(DiskLevel(len(self.levels) + 1))
+        return self.levels[paper_level - 1]
+
+    def wait_for_merges(self) -> None:
+        """Join every background merge (benchmark teardown, clean close).
+
+        The finished runs stay uncommitted until their natural checkpoint,
+        preserving ``Hstate`` determinism.
+        """
+        if self.mem_pending is not None:
+            self.mem_pending.wait()
+        for level in self.levels:
+            if level.pending is not None:
+                level.pending.wait()
+
+    # =========================================================================
+    # root digest (Hstate)
+    # =========================================================================
+
+    def root_hash_list(self) -> List[Tuple[str, Digest]]:
+        """The ordered (label, digest) list that ``Hstate`` hashes (§3.2)."""
+        entries: List[Tuple[str, Digest]] = [("mem:w", self.mem_writing.root())]
+        if self.params.async_merge:
+            entries.append(("mem:m", self.mem_merging.root()))
+        for level in self.levels:
+            for run in level.writing.runs:
+                entries.append((f"run:{run.name}:w", run.commitment()))
+            for run in level.merging.runs:
+                entries.append((f"run:{run.name}:m", run.commitment()))
+        return entries
+
+    def root_digest(self) -> Digest:
+        """``Hstate``: the digest over ``root_hash_list``."""
+        return hash_concat([digest for _label, digest in self.root_hash_list()])
+
+    # =========================================================================
+    # read path
+    # =========================================================================
+
+    def get(self, addr: bytes) -> Optional[bytes]:
+        """Latest value of ``addr`` or ``None`` (Algorithm 6)."""
+        key = CompoundKey.latest_of(addr).to_int()
+        for group in self._mem_groups():
+            found = group.floor_search(key)
+            if found is not None and addr_of_int(found[0], self._addr_size()) == addr:
+                return found[1]
+        for run in self._run_search_order():
+            if not run.may_contain(addr):
+                continue
+            found = run.floor_search(key)
+            if found is not None and addr_of_int(found[0][0], self._addr_size()) == addr:
+                return found[0][1]
+        return None
+
+    def get_at(self, addr: bytes, blk: int) -> Optional[bytes]:
+        """Value of ``addr`` as of block ``blk`` (historical point lookup)."""
+        key = CompoundKey(addr=addr, blk=blk).to_int()
+        for group in self._mem_groups():
+            found = group.floor_search(key)
+            if found is not None and addr_of_int(found[0], self._addr_size()) == addr:
+                return found[1]
+        for run in self._run_search_order():
+            if not run.may_contain(addr):
+                continue
+            found = run.floor_search(key)
+            if found is not None and addr_of_int(found[0][0], self._addr_size()) == addr:
+                return found[0][1]
+        return None
+
+    def _mem_groups(self) -> List[MemGroup]:
+        if self.params.async_merge:
+            return [self.mem_writing, self.mem_merging]
+        return [self.mem_writing]
+
+    def _run_search_order(self) -> List[Run]:
+        runs: List[Run] = []
+        for level in self.levels:
+            runs.extend(level.search_order())
+        return runs
+
+    # -- provenance queries (Algorithm 8) ----------------------------------------
+
+    def prov_query(self, addr: bytes, blk_low: int, blk_high: int) -> ProvenanceResult:
+        """Historical values of ``addr`` in ``[blk_low, blk_high]`` + proof."""
+        if blk_low > blk_high:
+            raise StorageError("empty block range")
+        addr_int = int.from_bytes(addr, "big")
+        key_low = addr_int * 2**64 + blk_low - 1  # <addr, blk_low - 1>
+        key_high = addr_int * 2**64 + min(blk_high + 1, MAX_BLK)
+        addr_size = self._addr_size()
+
+        found: Dict[int, bytes] = {}  # blk -> value, for our address
+        items_by_label: Dict[str, ProofItem] = {}
+        early_stop = False
+
+        def note_entries(entries: List[Tuple[int, bytes]]) -> bool:
+            """Record disclosed versions of addr; True if one predates blk_low."""
+            saw_older = False
+            for entry_key, value in entries:
+                if addr_of_int(entry_key, addr_size) != addr:
+                    continue
+                blk = blk_of_int(entry_key)
+                if blk > blk_high:
+                    continue
+                found.setdefault(blk, value)
+                if blk < blk_low:
+                    saw_older = True
+            return saw_older
+
+        mem_labels = ["mem:w", "mem:m"] if self.params.async_merge else ["mem:w"]
+        for label, group in zip(mem_labels, self._mem_groups()):
+            if early_stop:
+                break
+            entries, proof = group.range_proof(key_low, key_high)
+            items_by_label[label] = MemProofItem(proof=proof)
+            if note_entries(entries):
+                early_stop = True
+
+        for level in self.levels:
+            if early_stop:
+                break
+            for run in level.search_order():
+                if early_stop:
+                    break
+                label = self._run_label(run, level)
+                if not run.may_contain(addr):
+                    items_by_label[label] = RunNegativeItem(
+                        bloom_bytes=run.bloom.to_bytes(), merkle_root=run.merkle_root
+                    )
+                    continue
+                scan = run.prov_scan(key_low, key_high)
+                items_by_label[label] = RunProofItem(
+                    entries=scan.entries,
+                    lo=scan.lo,
+                    hi=scan.hi,
+                    num_entries=run.num_entries,
+                    merkle_proof=scan.proof,
+                    bloom_digest=run.bloom.digest(),
+                )
+                if note_entries(scan.entries):
+                    early_stop = True
+
+        items: List[ProofItem] = []
+        for label, digest in self.root_hash_list():
+            item = items_by_label.get(label)
+            items.append(item if item is not None else StubItem(digest=digest))
+
+        proof = ProvenanceProof(
+            addr=addr, blk_low=blk_low, blk_high=blk_high, items=items
+        )
+        versions = sorted(
+            (blk, value) for blk, value in found.items() if blk >= blk_low
+        )
+        older = [(blk, value) for blk, value in found.items() if blk < blk_low]
+        boundary = max(older) if older else None
+        return ProvenanceResult(versions=versions, boundary_version=boundary, proof=proof)
+
+    def _run_label(self, run: Run, level: DiskLevel) -> str:
+        role = "w" if run in level.writing.runs else "m"
+        return f"run:{run.name}:{role}"
+
+    # =========================================================================
+    # accounting / lifecycle
+    # =========================================================================
+
+    def storage_bytes(self) -> int:
+        """Total on-disk footprint (the storage series of Figures 9-10)."""
+        return self.workspace.storage_bytes()
+
+    def num_disk_levels(self) -> int:
+        """Number of instantiated on-disk levels (``d_COLE`` of Table 1)."""
+        return len(self.levels)
+
+    def rewind_to(self, target_blk: int) -> int:
+        """Discard every version newer than ``target_blk`` (fork support,
+        the paper's future-work extension — see repro.core.rewind)."""
+        from repro.core.rewind import rewind_to
+
+        return rewind_to(self, target_blk)
+
+    def close(self) -> None:
+        """Join merges and close all file handles."""
+        self.wait_for_merges()
+        self.workspace.close()
+
+    # =========================================================================
+    # durability (Section 4.3)
+    # =========================================================================
+
+    def _save_manifest(self) -> None:
+        manifest = Manifest(
+            checkpoint_blk=self._checkpoint_blk,
+            checkpoint_puts=self._checkpoint_puts,
+            next_run_seq=self._run_seq,
+            async_merge=self.params.async_merge,
+        )
+        manifest.levels = {}
+        for level in self.levels:
+            groups: Dict[str, List[RunRecord]] = {"writing": [], "merging": []}
+            for role, group in (("writing", level.writing), ("merging", level.merging)):
+                for run in group.runs:
+                    groups[role].append(
+                        RunRecord(
+                            name=run.name,
+                            level=run.level,
+                            num_entries=run.num_entries,
+                            merkle_root_hex=run.merkle_root.hex(),
+                        )
+                    )
+            manifest.levels[level.level] = groups
+        manifest.checkpoint_puts = self._checkpoint_puts
+        save_manifest(self.workspace.root, manifest)
+
+    def _recover(self) -> None:
+        manifest = load_manifest(self.workspace.root)
+        known = {"MANIFEST.json"}
+        for paper_level, groups in sorted(manifest.levels.items()):
+            level = self._ensure_level(paper_level)
+            for role, target in (("writing", level.writing), ("merging", level.merging)):
+                for record in groups.get(role, []):
+                    run = Run.load(
+                        self.workspace,
+                        record.name,
+                        record.level,
+                        record.num_entries,
+                        self.params,
+                        bytes.fromhex(record.merkle_root_hex),
+                    )
+                    target.add(run)
+                    known.update(
+                        record.name + suffix for suffix in (".val", ".idx", ".mrk", ".blm")
+                    )
+        # Discard files of unfinished merges (Section 4.3).
+        for name in list(self.workspace.list_files()):
+            if name not in known:
+                self.workspace.remove_file(name)
+        self._run_seq = manifest.next_run_seq
+        self._checkpoint_blk = manifest.checkpoint_blk
+        self._checkpoint_puts = manifest.checkpoint_puts
+        # Restart aborted level merges (async mode).
+        if self.params.async_merge:
+            for index, level in enumerate(self.levels):
+                if level.merging.runs:
+                    self._restart_merge(index)
+
+    def _restart_merge(self, index: int) -> None:
+        level = self.levels[index]
+        sources = list(level.merging.runs)
+        total = sum(source.num_entries for source in sources)
+        name = self._next_run_name(index + 2)
+        pending = PendingMerge(thread=threading.Thread(target=lambda: None))
+
+        def merge() -> None:
+            try:
+                merged = merge_entry_streams(
+                    [source.value_file.iter_entries() for source in sources]
+                )
+                run = Run.build(
+                    self.workspace, name, index + 2, merged, total, self.params
+                )
+                pending.output = run
+            except BaseException as exc:
+                pending.error = exc
+
+        pending.thread = threading.Thread(target=merge, name=f"cole-merge-{name}")
+        level.pending = pending
+        pending.thread.start()
+
+    @property
+    def checkpoint_puts(self) -> int:
+        """Number of puts durably contained in committed runs (replay point)."""
+        return self._checkpoint_puts
+
+    def _addr_size(self) -> int:
+        return self.params.system.addr_size

@@ -1,0 +1,145 @@
+"""Value files: the sorted compound key-value pairs of one run (Section 3.2).
+
+Pairs are fixed-width (``addr || blk || value``) and packed
+``pairs_per_page`` to a page, so position ``p`` lives on page
+``p // pairs_per_page`` — exactly the geometry the learned models' error
+bound ε is derived from (2ε = one page of pairs).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.common.errors import StorageError
+from repro.common.params import SystemParams
+from repro.diskio.pagefile import PagedFile
+
+Entry = Tuple[int, bytes]  # (compound key as big int, value bytes)
+
+
+class ValueFileWriter:
+    """Streaming writer: appends sorted pairs page by page."""
+
+    def __init__(self, file: PagedFile, params: SystemParams) -> None:
+        self._file = file
+        self._params = params
+        self._buffer = bytearray()
+        self._count = 0
+        self._last_key: Optional[int] = None
+
+    def add(self, key: int, value: bytes) -> int:
+        """Append one pair; returns its position.  Keys must be increasing."""
+        if self._last_key is not None and key <= self._last_key:
+            raise StorageError("value file pairs must be strictly increasing")
+        if len(value) != self._params.value_size:
+            raise StorageError(
+                f"value must be {self._params.value_size} bytes, got {len(value)}"
+            )
+        self._last_key = key
+        self._buffer += _encode_pair(key, value, self._params)
+        position = self._count
+        self._count += 1
+        if self._count % self._params.pairs_per_page == 0:
+            self._file.append_page(bytes(self._buffer))
+            self._buffer.clear()
+        return position
+
+    def finish(self) -> int:
+        """Flush the trailing partial page; returns the total pair count."""
+        if self._buffer:
+            self._file.append_page(bytes(self._buffer))
+            self._buffer.clear()
+        self._file.flush()
+        return self._count
+
+    @property
+    def count(self) -> int:
+        """Pairs written so far."""
+        return self._count
+
+
+class ValueFile:
+    """Read access to a finished value file of ``num_entries`` pairs."""
+
+    def __init__(self, file: PagedFile, num_entries: int, params: SystemParams) -> None:
+        self._file = file
+        self._params = params
+        self.num_entries = num_entries
+
+    @property
+    def pairs_per_page(self) -> int:
+        """Pairs per page (``2ε``)."""
+        return self._params.pairs_per_page
+
+    def page_of(self, position: int) -> int:
+        """Page id holding the pair at ``position``."""
+        return position // self.pairs_per_page
+
+    def read_page_entries(self, page_id: int) -> List[Entry]:
+        """Decode all pairs stored on ``page_id`` (one page read)."""
+        data = self._file.read_page(page_id)
+        first = page_id * self.pairs_per_page
+        count = min(self.pairs_per_page, self.num_entries - first)
+        if count <= 0:
+            raise StorageError(f"page {page_id} has no entries")
+        return [_decode_pair(data, slot, self._params) for slot in range(count)]
+
+    def entry_at(self, position: int) -> Entry:
+        """The pair at ``position`` (one page read, minus cache hits)."""
+        if not 0 <= position < self.num_entries:
+            raise StorageError(f"position {position} out of range")
+        entries = self.read_page_entries(self.page_of(position))
+        return entries[position % self.pairs_per_page]
+
+    def floor_in_page(self, page_id: int, key: int) -> Optional[Tuple[Entry, int]]:
+        """Largest pair on ``page_id`` with pair key <= ``key``, if any."""
+        entries = self.read_page_entries(page_id)
+        keys = [entry[0] for entry in entries]
+        index = bisect.bisect_right(keys, key) - 1
+        if index < 0:
+            return None
+        return entries[index], page_id * self.pairs_per_page + index
+
+    def scan_from(self, position: int) -> Iterator[Tuple[Entry, int]]:
+        """Yield ``(pair, position)`` sequentially starting at ``position``.
+
+        Used by provenance queries (Algorithm 8 lines 14-17): after the
+        learned index locates the first result, the value file is scanned
+        forward page by page.
+        """
+        page_id = self.page_of(position)
+        while position < self.num_entries:
+            entries = self.read_page_entries(page_id)
+            start_slot = position - page_id * self.pairs_per_page
+            for slot in range(start_slot, len(entries)):
+                yield entries[slot], position
+                position += 1
+            page_id += 1
+
+    def iter_entries(self) -> Iterator[Entry]:
+        """Yield all pairs in key order (sequential page reads)."""
+        for entry, _position in self.scan_from(0):
+            yield entry
+
+
+def _encode_pair(key: int, value: bytes, params: SystemParams) -> bytes:
+    addr_and_blk = key.to_bytes(params.key_size, "big")
+    return addr_and_blk + value
+
+
+def _decode_pair(page: bytes, slot: int, params: SystemParams) -> Entry:
+    offset = slot * params.pair_size
+    key = int.from_bytes(page[offset : offset + params.key_size], "big")
+    value = page[offset + params.key_size : offset + params.pair_size]
+    return key, value
+
+
+def write_value_file(
+    file: PagedFile, entries: Iterable[Entry], params: SystemParams
+) -> int:
+    """Write ``entries`` (sorted) to ``file``; returns the pair count."""
+    writer = ValueFileWriter(file, params)
+    for key, value in entries:
+        writer.add(key, value)
+    return writer.finish()

@@ -1,0 +1,16 @@
+"""Disk substrate: paged files, IO accounting, and workspaces.
+
+The paper's evaluation is dominated by page-level IO and on-disk bytes, so
+every storage engine in the reproduction sits on this substrate:
+
+* :class:`PagedFile` — a real file accessed in fixed-size pages;
+* :class:`IOStats` — counters for page reads/writes/appends per category;
+* :class:`Workspace` — a directory owning the files of one storage engine,
+  with byte-accurate storage-size reporting for the figures.
+"""
+
+from repro.diskio.iostats import IOStats, IOCategory
+from repro.diskio.pagefile import PagedFile
+from repro.diskio.workspace import Workspace
+
+__all__ = ["IOStats", "IOCategory", "PagedFile", "Workspace"]

@@ -1,0 +1,187 @@
+"""Fixed-page files — the unit of IO for every on-disk structure.
+
+A :class:`PagedFile` wraps a real file and exposes page-granular reads,
+writes and appends.  Each access is recorded in an :class:`IOStats` so the
+benchmark harness can validate the IO-cost columns of Table 1.
+
+Sequential producers (value files, index files, Merkle files are all
+written streamingly — Algorithms 3 and 4) use :meth:`append_page`; readers
+use :meth:`read_page`.  A tiny optional read cache models the page cache a
+real deployment would enjoy without hiding the first (cold) access.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+from repro.common.errors import StorageError
+from repro.diskio.iostats import IOStats
+
+
+class PagedFile:
+    """A real file accessed in fixed-size pages with IO accounting."""
+
+    def __init__(
+        self,
+        path: str,
+        page_size: int,
+        stats: Optional[IOStats] = None,
+        category: str = "file",
+        cache_pages: int = 0,
+        create: bool = True,
+    ) -> None:
+        """Open (or create) the paged file at ``path``.
+
+        Args:
+            path: filesystem path of the backing file.
+            page_size: bytes per page; all IO happens in this unit.
+            stats: counter sink; a private one is created if omitted.
+            category: IOStats category these accesses are billed to.
+            cache_pages: capacity of the LRU read cache (0 disables it).
+            create: create the file if missing; otherwise it must exist.
+        """
+        if page_size <= 0:
+            raise ValueError("page_size must be positive")
+        self.path = path
+        self.page_size = page_size
+        self.stats = stats if stats is not None else IOStats()
+        self.category = category
+        mode = "r+b" if os.path.exists(path) else ("w+b" if create else None)
+        if mode is None:
+            raise StorageError(f"paged file does not exist: {path}")
+        self._file = open(path, mode)
+        self._num_pages = os.path.getsize(path) // page_size
+        self._cache: "OrderedDict[int, bytes]" = OrderedDict()
+        self._cache_capacity = cache_pages
+        self._closed = False
+        # Queries (main thread) and background merges (Algorithm 5) may
+        # read the same handle concurrently; seek+read must be atomic.
+        self._lock = threading.Lock()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush and close the backing file (idempotent)."""
+        if not self._closed:
+            self._file.flush()
+            self._file.close()
+            self._closed = True
+
+    def __enter__(self) -> "PagedFile":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def num_pages(self) -> int:
+        """Number of pages currently in the file."""
+        return self._num_pages
+
+    def size_bytes(self) -> int:
+        """Current file size in bytes."""
+        return self._num_pages * self.page_size
+
+    # -- IO ----------------------------------------------------------------
+
+    def read_page(self, page_id: int) -> bytes:
+        """Return the ``page_size`` bytes of page ``page_id``.
+
+        Cache hits are free; misses cost one page read.
+        """
+        self._check_open()
+        if not 0 <= page_id < self._num_pages:
+            raise StorageError(
+                f"page {page_id} out of range [0, {self._num_pages}) in {self.path}"
+            )
+        with self._lock:
+            cached = self._cache_get(page_id)
+            if cached is not None:
+                return cached
+            self._file.seek(page_id * self.page_size)
+            data = self._file.read(self.page_size)
+            if len(data) != self.page_size:
+                raise StorageError(f"short read of page {page_id} in {self.path}")
+            self.stats.record_read(self.category)
+            self._cache_put(page_id, data)
+            return data
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        """Overwrite page ``page_id`` with ``data`` (must fill the page)."""
+        self._check_open()
+        if len(data) != self.page_size:
+            raise StorageError(
+                f"page write must be exactly {self.page_size} bytes, got {len(data)}"
+            )
+        if not 0 <= page_id < self._num_pages:
+            raise StorageError(
+                f"page {page_id} out of range [0, {self._num_pages}) in {self.path}"
+            )
+        with self._lock:
+            self._file.seek(page_id * self.page_size)
+            self._file.write(data)
+            self.stats.record_write(self.category)
+            self._cache_put(page_id, bytes(data))
+
+    def append_page(self, data: bytes) -> int:
+        """Append a page (padded with zeros if short) and return its id."""
+        self._check_open()
+        if len(data) > self.page_size:
+            raise StorageError(
+                f"page append must be <= {self.page_size} bytes, got {len(data)}"
+            )
+        if len(data) < self.page_size:
+            data = data + b"\x00" * (self.page_size - len(data))
+        with self._lock:
+            page_id = self._num_pages
+            self._file.seek(page_id * self.page_size)
+            self._file.write(data)
+            self._num_pages += 1
+            self.stats.record_write(self.category)
+            self._cache_put(page_id, bytes(data))
+            return page_id
+
+    def preallocate(self, num_pages: int) -> None:
+        """Extend the file with zero pages without billing write IO.
+
+        Used by streaming writers (the Merkle file, Algorithm 4) that know
+        the final size up front and then fill pages at computed offsets;
+        the fills are billed, the allocation is not.
+        """
+        self._check_open()
+        if num_pages <= self._num_pages:
+            return
+        self._file.truncate(num_pages * self.page_size)
+        self._num_pages = num_pages
+
+    def flush(self) -> None:
+        """Flush buffered writes to the operating system."""
+        self._check_open()
+        self._file.flush()
+
+    # -- internals ---------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError(f"paged file is closed: {self.path}")
+
+    def _cache_get(self, page_id: int) -> Optional[bytes]:
+        if self._cache_capacity == 0:
+            return None
+        data = self._cache.get(page_id)
+        if data is not None:
+            self._cache.move_to_end(page_id)
+        return data
+
+    def _cache_put(self, page_id: int, data: bytes) -> None:
+        if self._cache_capacity == 0:
+            return
+        self._cache[page_id] = data
+        self._cache.move_to_end(page_id)
+        while len(self._cache) > self._cache_capacity:
+            self._cache.popitem(last=False)

@@ -1,0 +1,14 @@
+"""A from-scratch LSM key-value store (the baselines' RocksDB stand-in).
+
+Ethereum stores its MPT nodes in RocksDB [18]; the paper's MPT / LIPP /
+CMI baselines do the same.  This package provides the equivalent
+substrate: an in-memory memtable, immutable sorted-run files with sparse
+indexes and bloom filters, and tiered compaction — the same write/read
+asymptotics, built on the same paged-file substrate, so the baselines'
+storage footprint and IO are measured the same way as COLE's.
+"""
+
+from repro.kvstore.store import LSMStore
+from repro.kvstore.sstable import SSTable
+
+__all__ = ["LSMStore", "SSTable"]

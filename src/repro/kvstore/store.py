@@ -1,0 +1,151 @@
+"""The LSM store: memtable + tiered levels of sorted-run files.
+
+Mirrors the structure RocksDB gives the paper's baselines: writes land in
+an in-memory memtable, full memtables flush to level-1 tables, and a level
+holding ``size_ratio`` tables is merge-compacted into the next level.
+Reads consult the memtable, then tables newest-first with bloom
+pre-checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.common.errors import StorageError
+from repro.diskio.iostats import IOStats
+from repro.diskio.workspace import Workspace
+from repro.kvstore.sstable import Record, SSTable, SSTableWriter, merge_tables
+
+
+class LSMStore:
+    """A write-optimized byte-key / byte-value store with deletes."""
+
+    def __init__(
+        self,
+        directory: str,
+        page_size: int = 4096,
+        memtable_capacity: int = 4096,
+        size_ratio: int = 4,
+        stats: Optional[IOStats] = None,
+        name: str = "kv",
+    ) -> None:
+        """Open a store rooted at ``directory``.
+
+        Args:
+            directory: workspace directory (created if needed).
+            page_size: bytes per page of every table file.
+            memtable_capacity: entries held in memory before a flush.
+            size_ratio: tables per level before compaction (RocksDB's
+                tiered style; the paper's baselines use default RocksDB).
+            stats: shared IO counters.
+            name: file-name prefix, letting several stores share a
+                workspace directory.
+        """
+        self.workspace = Workspace(directory, page_size, stats)
+        self.memtable_capacity = memtable_capacity
+        self.size_ratio = size_ratio
+        self.name = name
+        self._memtable: Dict[bytes, Optional[bytes]] = {}
+        self._levels: List[List[SSTable]] = []  # levels[i] = tables, oldest first
+        self._table_seq = 0
+
+    # -- write path ---------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite ``key``."""
+        if not key:
+            raise StorageError("empty keys are not supported")
+        self._memtable[key] = value
+        if len(self._memtable) >= self.memtable_capacity:
+            self.flush()
+
+    def delete(self, key: bytes) -> None:
+        """Delete ``key`` (tombstone; reclaimed at compaction)."""
+        if not key:
+            raise StorageError("empty keys are not supported")
+        self._memtable[key] = None
+        if len(self._memtable) >= self.memtable_capacity:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write the memtable as a new level-0 table and compact."""
+        if not self._memtable:
+            return
+        records = sorted(self._memtable.items())
+        self._memtable.clear()
+        table = self._write_table(iter(records))
+        self._push_table(0, table)
+
+    def _write_table(self, records: Iterator[Record]) -> SSTable:
+        file_name = f"{self.name}_{self._table_seq:08d}.sst"
+        self._table_seq += 1
+        handle = self.workspace.open_file(file_name, category="kvstore")
+        writer = SSTableWriter(handle)
+        for key, value in records:
+            writer.add(key, value)
+        table = writer.finish()
+        self.workspace.register_raw(file_name + ":mem", table.memory_overhead_bytes())
+        table.file_name = file_name  # type: ignore[attr-defined]
+        return table
+
+    def _push_table(self, level: int, table: SSTable) -> None:
+        while len(self._levels) <= level:
+            self._levels.append([])
+        self._levels[level].append(table)
+        if len(self._levels[level]) >= self.size_ratio:
+            self._compact(level)
+
+    def _compact(self, level: int) -> None:
+        tables = self._levels[level]
+        # Tombstones may be dropped only when no older data lives at the
+        # destination level or deeper (it could resurrect otherwise).
+        drop_tombstones = all(
+            not self._levels[deeper] for deeper in range(level + 1, len(self._levels))
+        )
+        merged = merge_tables([table.iter_records() for table in tables])
+        if drop_tombstones:
+            merged = ((k, v) for k, v in merged if v is not None)
+        new_table = self._write_table(merged)
+        for table in tables:
+            name = table.file_name  # type: ignore[attr-defined]
+            self.workspace.remove_file(name)
+            self.workspace.unregister_raw(name + ":mem")
+        self._levels[level] = []
+        self._push_table(level + 1, new_table)
+
+    # -- read path -----------------------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Latest value of ``key`` or ``None``."""
+        if key in self._memtable:
+            return self._memtable[key]
+        for level in self._levels:
+            for table in reversed(level):
+                found, value = table.get(key)
+                if found:
+                    return value
+        return None
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """All live key-value pairs in key order (full merge scan)."""
+        streams: List[Iterator[Record]] = []
+        for level in reversed(self._levels):
+            for table in level:
+                streams.append(table.iter_records())
+        streams.append(iter(sorted(self._memtable.items())))
+        for key, value in merge_tables(streams):
+            if value is not None:
+                yield key, value
+
+    # -- accounting / lifecycle --------------------------------------------------------
+
+    def storage_bytes(self) -> int:
+        """On-disk footprint plus registered in-memory index overhead."""
+        return self.workspace.storage_bytes()
+
+    def close(self) -> None:
+        """Close all file handles."""
+        self.workspace.close()

@@ -1,0 +1,14 @@
+"""The ε-bounded piecewise linear learned index (Sections 4.1 and 6.1).
+
+* :mod:`repro.learned.plm` — the streaming optimal piecewise-linear model
+  builder (Algorithm 2): O'Rourke's online convex-hull fitting [40], the
+  same algorithm the PGM-index uses, implemented with exact big-integer
+  arithmetic so the ε guarantee is never lost to float drift.
+* :mod:`repro.learned.model` — the on-disk model record
+  ``M = <sl, ic, kmin, pmax>`` (Definition 1) and its binary codec.
+"""
+
+from repro.learned.model import Model, MODEL_FLOAT_FIELDS
+from repro.learned.plm import OptimalPiecewiseLinear, build_models
+
+__all__ = ["Model", "MODEL_FLOAT_FIELDS", "OptimalPiecewiseLinear", "build_models"]

@@ -1,0 +1,251 @@
+"""Streaming optimal piecewise-linear fitting (Algorithm 2).
+
+This is O'Rourke's online algorithm for fitting straight lines between
+data ranges [40], as used by the PGM-index [20]: every key ``K`` with
+position ``p`` contributes two constraint points ``(K, p + eps)`` and
+``(K, p - eps)``; a line is feasible while it passes below the upper
+constraints and above the lower ones.  The feasible set is tracked with a
+pair of convex hulls and the four extreme "parallelogram" corners the
+paper's Figure 5 shows.  Amortized O(1) work per point.
+
+All geometry uses exact Python big-integer arithmetic (compound keys are
+hundreds of bits wide — float cross products would be meaningless).  Only
+the final slope/intercept of an emitted segment are rounded to doubles,
+and they are anchored at the segment's first key so the rounding error at
+query time is far below one position.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.learned.model import Model
+
+Point = Tuple[int, int]
+
+
+def _sub(a: Point, b: Point) -> Point:
+    """Vector a - b (a slope as a (dx, dy) pair)."""
+    return (a[0] - b[0], a[1] - b[1])
+
+
+def _slope_lt(a: Point, b: Point) -> bool:
+    """True if slope ``a.dy/a.dx`` < slope ``b.dy/b.dx`` (exact)."""
+    lhs = a[1] * b[0]
+    rhs = b[1] * a[0]
+    if (a[0] > 0) == (b[0] > 0):
+        return lhs < rhs
+    return lhs > rhs
+
+
+def _slope_gt(a: Point, b: Point) -> bool:
+    """True if slope ``a.dy/a.dx`` > slope ``b.dy/b.dx`` (exact)."""
+    lhs = a[1] * b[0]
+    rhs = b[1] * a[0]
+    if (a[0] > 0) == (b[0] > 0):
+        return lhs > rhs
+    return lhs < rhs
+
+
+def _cross(origin: Point, a: Point, b: Point) -> int:
+    """Z component of ``(a - origin) x (b - origin)`` (exact)."""
+    return (a[0] - origin[0]) * (b[1] - origin[1]) - (a[1] - origin[1]) * (b[0] - origin[0])
+
+
+class OptimalPiecewiseLinear:
+    """Incrementally fits one ε-bounded segment over strictly increasing keys.
+
+    ``add_point`` returns ``False`` when the new point cannot join the
+    current segment (the enclosing parallelogram would exceed height 2ε,
+    Figure 5(b)); the caller then emits the segment via :meth:`segment`
+    and starts a new one.
+    """
+
+    def __init__(self, epsilon: int) -> None:
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        self.epsilon = epsilon
+        self._reset()
+
+    def _reset(self) -> None:
+        self.points_in_hull = 0
+        self.first_x: Optional[int] = None
+        self.last_x: Optional[int] = None
+        self._upper: List[Point] = []
+        self._lower: List[Point] = []
+        self._upper_start = 0
+        self._lower_start = 0
+        self._rect: List[Optional[Point]] = [None, None, None, None]
+
+    # -- incremental fitting ---------------------------------------------------
+
+    def add_point(self, x: int, y: int) -> bool:
+        """Try to extend the current segment with ``(x, y)``.
+
+        Returns ``True`` if the point fits within the ε band, ``False`` if
+        it starts a new segment (in which case the fitter state is
+        untouched and still describes the finished segment).
+        """
+        if self.points_in_hull > 0 and x <= self.last_x:  # type: ignore[operator]
+            raise ValueError("keys must be strictly increasing within a run")
+        p_up: Point = (x, y + self.epsilon)
+        p_down: Point = (x, y - self.epsilon)
+
+        if self.points_in_hull == 0:
+            self.first_x = x
+            self.last_x = x
+            self._rect[0] = p_up
+            self._rect[1] = p_down
+            self._upper = [p_up]
+            self._lower = [p_down]
+            self._upper_start = 0
+            self._lower_start = 0
+            self.points_in_hull = 1
+            return True
+
+        if self.points_in_hull == 1:
+            self.last_x = x
+            self._rect[2] = p_down
+            self._rect[3] = p_up
+            self._upper.append(p_up)
+            self._lower.append(p_down)
+            self.points_in_hull = 2
+            return True
+
+        slope_min = _sub(self._rect[2], self._rect[0])  # type: ignore[arg-type]
+        slope_max = _sub(self._rect[3], self._rect[1])  # type: ignore[arg-type]
+        outside_min = _slope_lt(_sub(p_up, self._rect[2]), slope_min)  # type: ignore[arg-type]
+        outside_max = _slope_gt(_sub(p_down, self._rect[3]), slope_max)  # type: ignore[arg-type]
+        if outside_min or outside_max:
+            return False
+
+        self.last_x = x
+        if _slope_lt(_sub(p_up, self._rect[1]), slope_max):  # type: ignore[arg-type]
+            # The upper constraint tightens the max slope: walk the lower
+            # hull for the supporting point, then add p_up to the upper hull.
+            min_i = self._lower_start
+            min_slope = _sub(self._lower[min_i], p_up)
+            i = min_i + 1
+            while i < len(self._lower):
+                candidate = _sub(self._lower[i], p_up)
+                if _slope_gt(candidate, min_slope):
+                    break
+                min_slope = candidate
+                min_i = i
+                i += 1
+            self._rect[1] = self._lower[min_i]
+            self._rect[3] = p_up
+            self._lower_start = min_i
+            end = len(self._upper)
+            while end >= self._upper_start + 2 and _cross(
+                self._upper[end - 2], self._upper[end - 1], p_up
+            ) <= 0:
+                end -= 1
+            del self._upper[end:]
+            self._upper.append(p_up)
+
+        if _slope_gt(_sub(p_down, self._rect[0]), slope_min):  # type: ignore[arg-type]
+            # The lower constraint tightens the min slope, symmetrically.
+            max_i = self._upper_start
+            max_slope = _sub(self._upper[max_i], p_down)
+            i = max_i + 1
+            while i < len(self._upper):
+                candidate = _sub(self._upper[i], p_down)
+                if _slope_lt(candidate, max_slope):
+                    break
+                max_slope = candidate
+                max_i = i
+                i += 1
+            self._rect[0] = self._upper[max_i]
+            self._rect[2] = p_down
+            self._upper_start = max_i
+            end = len(self._lower)
+            while end >= self._lower_start + 2 and _cross(
+                self._lower[end - 2], self._lower[end - 1], p_down
+            ) >= 0:
+                end -= 1
+            del self._lower[end:]
+            self._lower.append(p_down)
+
+        self.points_in_hull += 1
+        return True
+
+    # -- segment emission --------------------------------------------------------
+
+    def segment(self) -> Tuple[float, float]:
+        """Slope and intercept of the central feasible line, anchored at
+        the segment's first key (the paper's "central line of the
+        parallelogram", Figure 5).
+        """
+        if self.points_in_hull == 0:
+            raise ValueError("no points in the current segment")
+        assert self.first_x is not None
+        if self.points_in_hull == 1:
+            # A single point: both corners share its x; predict its y exactly.
+            return 0.0, float((self._rect[0][1] + self._rect[1][1]) / 2)  # type: ignore[index]
+
+        r0, r1, r2, r3 = self._rect  # type: ignore[misc]
+        assert r0 and r1 and r2 and r3
+        slope_min = Fraction(r2[1] - r0[1], r2[0] - r0[0])
+        slope_max = Fraction(r3[1] - r1[1], r3[0] - r1[0])
+        slope = (slope_min + slope_max) / 2
+
+        intersection = _intersect(r0, r2, r1, r3)
+        if intersection is None:
+            # Parallel diagonals: anchor the central line between the two
+            # first-key corners.
+            i_x = Fraction(r0[0])
+            i_y = Fraction(r0[1] + r1[1], 2)
+        else:
+            i_x, i_y = intersection
+        intercept = i_y - (i_x - self.first_x) * slope
+        return float(slope), float(intercept)
+
+    def start_new_segment(self, x: int, y: int) -> None:
+        """Reset and seed the next segment with the point that overflowed."""
+        self._reset()
+        self.add_point(x, y)
+
+
+def _intersect(
+    a1: Point, a2: Point, b1: Point, b2: Point
+) -> Optional[Tuple[Fraction, Fraction]]:
+    """Intersection of lines ``a1-a2`` and ``b1-b2`` (None if parallel)."""
+    da = _sub(a2, a1)
+    db = _sub(b2, b1)
+    denominator = da[0] * db[1] - da[1] * db[0]
+    if denominator == 0:
+        return None
+    diff = _sub(b1, a1)
+    t = Fraction(diff[0] * db[1] - diff[1] * db[0], denominator)
+    return Fraction(a1[0]) + t * da[0], Fraction(a1[1]) + t * da[1]
+
+
+def build_models(
+    stream: Iterable[Tuple[int, int]], epsilon: int
+) -> Iterator[Model]:
+    """Algorithm 2: learn ε-bounded models from a (key, position) stream.
+
+    Yields each :class:`Model` as soon as it is finalized, so callers can
+    write it straight to the index file while the merge is still running.
+    """
+    fitter = OptimalPiecewiseLinear(epsilon)
+    kmin: Optional[int] = None
+    pmax = 0
+    for key, position in stream:
+        if fitter.add_point(key, position):
+            if kmin is None:
+                kmin = key
+            pmax = position
+            continue
+        sl, ic = fitter.segment()
+        assert kmin is not None
+        yield Model(sl=sl, ic=ic, kmin=kmin, pmax=pmax)
+        fitter.start_new_segment(key, position)
+        kmin = key
+        pmax = position
+    if fitter.points_in_hull > 0:
+        sl, ic = fitter.segment()
+        assert kmin is not None
+        yield Model(sl=sl, ic=ic, kmin=kmin, pmax=pmax)

@@ -1,0 +1,27 @@
+"""Merkle B+-tree (MB-tree, Li et al. [29]).
+
+COLE keeps its in-memory level ``L0`` in an MB-tree (Section 3.2) because a
+B+-tree compacts into sorted runs cheaply; the CMI baseline uses one
+MB-tree per state address as its lower index.  The tree supports inserts,
+floor searches (largest key <= query, the lookup rule of Algorithm 6),
+in-order iteration for flushing, and authenticated range proofs verified
+against the tree's root digest.
+"""
+
+from repro.mbtree.tree import MBTree
+from repro.mbtree.proof import (
+    MBTreeProof,
+    ProofHash,
+    ProofInternal,
+    ProofLeaf,
+    verify_range_proof,
+)
+
+__all__ = [
+    "MBTree",
+    "MBTreeProof",
+    "ProofHash",
+    "ProofInternal",
+    "ProofLeaf",
+    "verify_range_proof",
+]

@@ -1,0 +1,10 @@
+"""In-memory Merkle hash trees (Section 2).
+
+Used for block transaction roots (every block header carries ``Htx``) and
+as the reference implementation that the streaming m-ary Merkle files of
+COLE (Algorithm 4) are tested against.
+"""
+
+from repro.merkle.mht import MerkleTree, MerkleProof, verify_proof
+
+__all__ = ["MerkleTree", "MerkleProof", "verify_proof"]

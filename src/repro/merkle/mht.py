@@ -1,0 +1,94 @@
+"""m-ary complete Merkle hash tree over a static list of items.
+
+Matches Definition 2 of the paper: bottom-layer hashes are ``h(item)``;
+an upper-layer hash is ``h(h1 || ... || hm*)`` over up to ``m`` children,
+where only the last node of a layer may have fewer than ``m`` children.
+The binary case (m=2) reproduces the classic MHT of Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.common.errors import VerificationError
+from repro.common.hashing import Digest, EMPTY_DIGEST, hash_bytes, hash_concat
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """Membership proof for one leaf.
+
+    ``layers[i]`` holds the sibling digests of the node on the search path
+    at layer ``i`` (bottom first), and ``positions[i]`` the node's index
+    within its group of siblings, so the verifier can splice the recomputed
+    digest into the right slot.
+    """
+
+    leaf_index: int
+    layers: List[List[Digest]]
+    positions: List[int]
+
+    def size_bytes(self) -> int:
+        """Proof size in bytes (sibling digests plus one u32 per layer)."""
+        return sum(len(group) * 32 + 4 for group in self.layers)
+
+
+class MerkleTree:
+    """m-ary complete MHT built eagerly from a list of leaf payloads."""
+
+    def __init__(self, items: Sequence[bytes], fanout: int = 2) -> None:
+        """Hash ``items`` into leaves and build all layers bottom-up."""
+        if fanout < 2:
+            raise ValueError("fanout must be >= 2")
+        self.fanout = fanout
+        leaves = [hash_bytes(item) for item in items]
+        self.layers: List[List[Digest]] = [leaves]
+        current = leaves
+        while len(current) > 1:
+            upper = [
+                hash_concat(current[start : start + fanout])
+                for start in range(0, len(current), fanout)
+            ]
+            self.layers.append(upper)
+            current = upper
+
+    @property
+    def num_leaves(self) -> int:
+        """Number of leaves in the tree."""
+        return len(self.layers[0])
+
+    @property
+    def root(self) -> Digest:
+        """Root digest (digest of the empty string for an empty tree)."""
+        if not self.layers[0]:
+            return EMPTY_DIGEST
+        return self.layers[-1][0]
+
+    def prove(self, leaf_index: int) -> MerkleProof:
+        """Return a membership proof for leaf ``leaf_index``."""
+        if not 0 <= leaf_index < self.num_leaves:
+            raise IndexError(f"leaf {leaf_index} out of range")
+        layers: List[List[Digest]] = []
+        positions: List[int] = []
+        index = leaf_index
+        for layer in self.layers[:-1]:
+            group_start = (index // self.fanout) * self.fanout
+            group = layer[group_start : group_start + self.fanout]
+            within = index - group_start
+            siblings = [digest for i, digest in enumerate(group) if i != within]
+            layers.append(siblings)
+            positions.append(within)
+            index //= self.fanout
+        return MerkleProof(leaf_index=leaf_index, layers=layers, positions=positions)
+
+
+def verify_proof(item: bytes, proof: MerkleProof, root: Digest) -> bool:
+    """Check that ``item`` is a leaf under ``root`` according to ``proof``."""
+    digest = hash_bytes(item)
+    for siblings, position in zip(proof.layers, proof.positions):
+        if position > len(siblings):
+            raise VerificationError("malformed proof: position beyond sibling group")
+        group = list(siblings[:position]) + [digest] + list(siblings[position:])
+        digest = hash_concat(group)
+    return digest == root

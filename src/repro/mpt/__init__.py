@@ -1,0 +1,15 @@
+"""Merkle Patricia Trie — Ethereum's authenticated index (Section 1, Fig. 1).
+
+The trie is content-addressed: every node is stored in the backing KV
+store under its own digest, so an update writes fresh copies of the whole
+search path.  In *persistent* mode (the MPT baseline) the obsolete copies
+are kept, which is what lets any historical root be traversed for
+provenance — and what makes the index dominate blockchain storage.  In
+*transient* mode (used by CMI's upper index) obsolete nodes are deleted,
+keeping only the live trie.
+"""
+
+from repro.mpt.trie import MPTrie
+from repro.mpt.proof import MPTProof, verify_mpt_proof
+
+__all__ = ["MPTrie", "MPTProof", "verify_mpt_proof"]

@@ -1,0 +1,81 @@
+"""MPT Merkle-path proofs and verification (Section 2's example).
+
+A proof is the list of serialized nodes on the search path, root first.
+The verifier recomputes each node's digest, checks it equals the parent's
+child reference (the root digest for the first node), and walks the key's
+nibbles through the disclosed nodes to confirm the claimed value (or its
+absence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.errors import VerificationError
+from repro.common.hashing import Digest, hash_bytes
+from repro.mpt.nibbles import bytes_to_nibbles
+from repro.mpt.node import BranchNode, ExtensionNode, LeafNode, decode_node
+
+
+@dataclass(frozen=True)
+class MPTProof:
+    """Merkle path for one key under one root."""
+
+    key: bytes
+    nodes: List[bytes]  # serialized nodes, root first
+
+    def size_bytes(self) -> int:
+        """Wire size of the proof."""
+        return sum(len(node) for node in self.nodes) + len(self.key)
+
+
+def verify_mpt_proof(
+    proof: MPTProof, expected_root: Optional[Digest]
+) -> Optional[bytes]:
+    """Verify ``proof`` and return the proven value (None = non-existence).
+
+    Raises :class:`VerificationError` if the node hashes do not chain to
+    ``expected_root`` or the path walk is inconsistent.
+    """
+    if expected_root is None or not proof.nodes:
+        if proof.nodes:
+            raise VerificationError("proof nodes supplied for an empty trie")
+        return None
+    path = bytes_to_nibbles(proof.key)
+    expected = expected_root
+    value: Optional[bytes] = None
+    terminated = False
+    for raw in proof.nodes:
+        if terminated:
+            raise VerificationError("proof continues past a terminal node")
+        if hash_bytes(raw) != expected:
+            raise VerificationError("proof node digest does not chain")
+        node = decode_node(raw)
+        if isinstance(node, LeafNode):
+            value = node.value if node.path == path else None
+            terminated = True
+            continue
+        if isinstance(node, ExtensionNode):
+            if path[: len(node.path)] != node.path:
+                value = None
+                terminated = True
+                continue
+            path = path[len(node.path) :]
+            expected = node.child
+            continue
+        # Branch node.
+        if not path:
+            value = node.value
+            terminated = True
+            continue
+        child = node.children[path[0]]
+        if child is None:
+            value = None
+            terminated = True
+            continue
+        expected = child
+        path = path[1:]
+    if not terminated:
+        raise VerificationError("proof ended before reaching a terminal node")
+    return value

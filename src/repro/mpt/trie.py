@@ -1,0 +1,222 @@
+"""The Merkle Patricia Trie over a KV node store.
+
+``put`` is purely functional on the node graph: it returns the new root
+digest and records which nodes were created and which were superseded.
+The owner decides persistence policy: the MPT baseline keeps superseded
+nodes (provenance via historical roots, at the storage cost the paper
+quantifies); CMI's upper index deletes them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.common.errors import IntegrityError, StorageError
+from repro.common.hashing import Digest
+from repro.kvstore import LSMStore
+from repro.mpt.nibbles import Nibbles, bytes_to_nibbles, common_prefix_len
+from repro.mpt.node import (
+    BranchNode,
+    ExtensionNode,
+    LeafNode,
+    MPTNode,
+    decode_node,
+    encode_node,
+    node_digest,
+)
+from repro.mpt.proof import MPTProof
+
+
+class MPTrie:
+    """A Patricia trie whose nodes live in an :class:`LSMStore`."""
+
+    def __init__(self, store: LSMStore, persistent: bool = True) -> None:
+        """Wrap ``store``.
+
+        Args:
+            store: node storage (digest -> serialized node).
+            persistent: keep superseded nodes (Ethereum-style).  When
+                False, superseded nodes are deleted — the "non-persistent
+                MPT" of the CMI baseline.
+        """
+        self.store = store
+        self.persistent = persistent
+        self.nodes_written = 0
+        self.node_bytes_written = 0
+
+    # -- node IO -------------------------------------------------------------------
+
+    def _load(self, digest: Digest) -> MPTNode:
+        data = self.store.get(b"n" + digest)
+        if data is None:
+            raise IntegrityError(f"missing MPT node {digest.hex()[:16]}")
+        return decode_node(data)
+
+    def _save(self, node: MPTNode) -> Digest:
+        data = encode_node(node)
+        digest = node_digest(node)
+        self.store.put(b"n" + digest, data)
+        self.nodes_written += 1
+        self.node_bytes_written += len(data)
+        return digest
+
+    def _discard(self, digest: Digest) -> None:
+        if not self.persistent:
+            self.store.delete(b"n" + digest)
+
+    # -- write ----------------------------------------------------------------------
+
+    def put(self, root: Optional[Digest], key: bytes, value: bytes) -> Digest:
+        """Insert/overwrite ``key`` under ``root``; returns the new root."""
+        path = bytes_to_nibbles(key)
+        return self._insert(root, path, value)
+
+    def _insert(self, ref: Optional[Digest], path: Nibbles, value: bytes) -> Digest:
+        if ref is None:
+            return self._save(LeafNode(path=path, value=value))
+        node = self._load(ref)
+        self._discard(ref)
+        if isinstance(node, LeafNode):
+            return self._insert_at_leaf(node, path, value)
+        if isinstance(node, ExtensionNode):
+            return self._insert_at_extension(node, path, value)
+        return self._insert_at_branch(node, path, value)
+
+    def _insert_at_leaf(self, node: LeafNode, path: Nibbles, value: bytes) -> Digest:
+        if node.path == path:
+            return self._save(LeafNode(path=path, value=value))
+        shared = common_prefix_len(node.path, path)
+        branch_children: List[Optional[Digest]] = [None] * 16
+        branch_value: Optional[bytes] = None
+        old_rest = node.path[shared:]
+        new_rest = path[shared:]
+        if not old_rest:
+            branch_value = node.value
+        else:
+            child = self._save(LeafNode(path=old_rest[1:], value=node.value))
+            branch_children[old_rest[0]] = child
+        if not new_rest:
+            branch_value = value
+        else:
+            child = self._save(LeafNode(path=new_rest[1:], value=value))
+            branch_children[new_rest[0]] = child
+        branch = self._save(BranchNode(children=tuple(branch_children), value=branch_value))
+        if shared:
+            return self._save(ExtensionNode(path=path[:shared], child=branch))
+        return branch
+
+    def _insert_at_extension(
+        self, node: ExtensionNode, path: Nibbles, value: bytes
+    ) -> Digest:
+        shared = common_prefix_len(node.path, path)
+        if shared == len(node.path):
+            child = self._insert(node.child, path[shared:], value)
+            return self._save(ExtensionNode(path=node.path, child=child))
+        # Split the extension at the divergence point.
+        branch_children: List[Optional[Digest]] = [None] * 16
+        branch_value: Optional[bytes] = None
+        ext_rest = node.path[shared:]
+        remainder = ext_rest[1:]
+        if remainder:
+            branch_children[ext_rest[0]] = self._save(
+                ExtensionNode(path=remainder, child=node.child)
+            )
+        else:
+            branch_children[ext_rest[0]] = node.child
+        new_rest = path[shared:]
+        if not new_rest:
+            branch_value = value
+        else:
+            branch_children[new_rest[0]] = self._save(
+                LeafNode(path=new_rest[1:], value=value)
+            )
+        branch = self._save(BranchNode(children=tuple(branch_children), value=branch_value))
+        if shared:
+            return self._save(ExtensionNode(path=path[:shared], child=branch))
+        return branch
+
+    def _insert_at_branch(self, node: BranchNode, path: Nibbles, value: bytes) -> Digest:
+        if not path:
+            return self._save(BranchNode(children=node.children, value=value))
+        children = list(node.children)
+        children[path[0]] = self._insert(children[path[0]], path[1:], value)
+        return self._save(BranchNode(children=tuple(children), value=node.value))
+
+    # -- read -----------------------------------------------------------------------
+
+    def get(self, root: Optional[Digest], key: bytes) -> Optional[bytes]:
+        """Value of ``key`` in the trie rooted at ``root``."""
+        if root is None:
+            return None
+        path = bytes_to_nibbles(key)
+        ref: Optional[Digest] = root
+        while ref is not None:
+            node = self._load(ref)
+            if isinstance(node, LeafNode):
+                return node.value if node.path == path else None
+            if isinstance(node, ExtensionNode):
+                if path[: len(node.path)] != node.path:
+                    return None
+                path = path[len(node.path) :]
+                ref = node.child
+                continue
+            if not path:
+                return node.value
+            ref = node.children[path[0]]
+            path = path[1:]
+        return None
+
+    def get_with_proof(
+        self, root: Optional[Digest], key: bytes
+    ) -> Tuple[Optional[bytes], MPTProof]:
+        """Value plus the Merkle path (the serialized nodes traversed)."""
+        nodes: List[bytes] = []
+        if root is None:
+            return None, MPTProof(key=key, nodes=nodes)
+        path = bytes_to_nibbles(key)
+        ref: Optional[Digest] = root
+        value: Optional[bytes] = None
+        while ref is not None:
+            node = self._load(ref)
+            nodes.append(encode_node(node))
+            if isinstance(node, LeafNode):
+                value = node.value if node.path == path else None
+                break
+            if isinstance(node, ExtensionNode):
+                if path[: len(node.path)] != node.path:
+                    break
+                path = path[len(node.path) :]
+                ref = node.child
+                continue
+            if not path:
+                value = node.value
+                break
+            ref = node.children[path[0]]
+            path = path[1:]
+        return value, MPTProof(key=key, nodes=nodes)
+
+    # -- maintenance -------------------------------------------------------------------
+
+    def depth(self, root: Optional[Digest], key: bytes) -> int:
+        """Nodes on the search path of ``key`` (``d_MPT`` of Table 1)."""
+        if root is None:
+            return 0
+        count = 0
+        path = bytes_to_nibbles(key)
+        ref: Optional[Digest] = root
+        while ref is not None:
+            node = self._load(ref)
+            count += 1
+            if isinstance(node, LeafNode):
+                break
+            if isinstance(node, ExtensionNode):
+                if path[: len(node.path)] != node.path:
+                    break
+                path = path[len(node.path) :]
+                ref = node.child
+                continue
+            if not path:
+                break
+            ref = node.children[path[0]]
+            path = path[1:]
+        return count

@@ -1,0 +1,71 @@
+"""SmallBank transaction generator (Blockbench [17]).
+
+Customers are drawn uniformly; operations are drawn uniformly over the
+six SmallBank procedures, matching Blockbench's default mix.  The stream
+is deterministic for a given seed, so every engine (and every "node" in a
+determinism test) sees the same transactions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.chain.transaction import Transaction
+
+_OPS = (
+    "get_balance",
+    "update_balance",
+    "update_saving",
+    "send_payment",
+    "write_check",
+    "amalgamate",
+)
+
+
+class SmallBankWorkload:
+    """Deterministic SmallBank transaction stream."""
+
+    def __init__(self, num_accounts: int = 100, seed: int = 1) -> None:
+        if num_accounts < 2:
+            raise ValueError("SmallBank needs at least two accounts")
+        self.num_accounts = num_accounts
+        self.seed = seed
+
+    def _customer(self, rng: random.Random) -> str:
+        return f"acct{rng.randrange(self.num_accounts)}"
+
+    def setup_transactions(self) -> Iterator[Transaction]:
+        """Create every account with an initial balance."""
+        for index in range(self.num_accounts):
+            yield Transaction(
+                contract="smallbank",
+                op="create_account",
+                args=(f"acct{index}", 1000, 1000),
+            )
+
+    def transactions(self, count: int) -> Iterator[Transaction]:
+        """Yield ``count`` random SmallBank transactions."""
+        rng = random.Random(self.seed)
+        for _ in range(count):
+            op = _OPS[rng.randrange(len(_OPS))]
+            if op == "get_balance":
+                yield Transaction("smallbank", op, (self._customer(rng),))
+            elif op in ("update_balance", "update_saving", "write_check"):
+                yield Transaction(
+                    "smallbank", op, (self._customer(rng), rng.randrange(1, 100))
+                )
+            elif op == "send_payment":
+                sender = self._customer(rng)
+                receiver = self._customer(rng)
+                while receiver == sender:
+                    receiver = self._customer(rng)
+                yield Transaction(
+                    "smallbank", op, (sender, receiver, rng.randrange(1, 100))
+                )
+            else:  # amalgamate
+                customer = self._customer(rng)
+                target = self._customer(rng)
+                while target == customer:
+                    target = self._customer(rng)
+                yield Transaction("smallbank", op, (customer, target))

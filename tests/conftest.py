@@ -1,0 +1,45 @@
+"""Shared fixtures: temporary workspaces and small COLE parameter sets."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.common.params import ColeParams, SystemParams
+
+
+@pytest.fixture
+def workdir(tmp_path):
+    """A fresh directory for one storage engine."""
+    return str(tmp_path / "engine")
+
+
+@pytest.fixture
+def small_system():
+    """Small address/value geometry used across unit tests."""
+    return SystemParams(addr_size=20, value_size=32, page_size=4096)
+
+
+@pytest.fixture
+def small_params(small_system):
+    """COLE parameters sized so multi-level behaviour appears quickly."""
+    return ColeParams(
+        system=small_system, mem_capacity=32, size_ratio=3, mht_fanout=4
+    )
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG per test."""
+    return random.Random(0xC01E)
+
+
+def make_addr(rng_instance, size=20):
+    """Random address of the unit-test geometry."""
+    return rng_instance.randbytes(size)
+
+
+def make_value(rng_instance, size=32):
+    """Random value of the unit-test geometry."""
+    return rng_instance.randbytes(size)

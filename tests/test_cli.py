@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import random
+
+from repro.cli import main
+from repro.common.params import ColeParams, SystemParams
+from repro.core import Cole
+
+
+def build_workspace(directory):
+    params = ColeParams(
+        system=SystemParams(addr_size=20, value_size=32), mem_capacity=8, size_ratio=2
+    )
+    cole = Cole(directory, params)
+    rng = random.Random(1)
+    pool = [rng.randbytes(20) for _ in range(8)]
+    for blk in range(1, 20):
+        cole.begin_block(blk)
+        for _ in range(4):
+            cole.put(rng.choice(pool), rng.randbytes(32))
+        cole.commit_block()
+    cole.close()
+
+
+def test_info_command(tmp_path, capsys):
+    directory = str(tmp_path / "ws")
+    build_workspace(directory)
+    assert main(["info", directory]) == 0
+    out = capsys.readouterr().out
+    assert "checkpoint block" in out
+    assert "L1_" in out or "L2_" in out
+
+
+def test_info_on_empty_workspace(tmp_path, capsys):
+    directory = str(tmp_path / "empty")
+    import os
+
+    os.makedirs(directory)
+    assert main(["info", directory]) == 0
+    assert "checkpoint block: -1" in capsys.readouterr().out
+
+
+def test_experiment_command_tiny(tmp_path, capsys):
+    assert main(["experiment", "fig9", "--heights", "3", "--engines", "cole"]) == 0
+    out = capsys.readouterr().out
+    assert "cole" in out
+    assert "tps" in out
+
+
+def test_unknown_experiment(capsys):
+    assert main(["experiment", "nope"]) == 2
+    assert "unknown experiment" in capsys.readouterr().out
+
+
+def test_index_share_experiment(capsys):
+    assert main(["experiment", "index-share"]) == 0
+    assert "data_share" in capsys.readouterr().out

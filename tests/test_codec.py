@@ -1,0 +1,63 @@
+"""Unit tests for the fixed-width binary codecs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.codec import (
+    decode_u32,
+    decode_u64,
+    encode_u32,
+    encode_u64,
+    int_from_bytes,
+    int_to_bytes,
+    pack_float,
+    unpack_float,
+)
+
+
+def test_u32_round_trip():
+    for value in (0, 1, 0xFFFF, 2**32 - 1):
+        assert decode_u32(encode_u32(value)) == value
+
+
+def test_u64_round_trip():
+    for value in (0, 1, 2**63, 2**64 - 1):
+        assert decode_u64(encode_u64(value)) == value
+
+
+def test_u32_is_big_endian():
+    assert encode_u32(1) == b"\x00\x00\x00\x01"
+
+
+def test_u64_width():
+    assert len(encode_u64(0)) == 8
+
+
+def test_decode_with_offset():
+    buffer = b"\xff" * 4 + encode_u32(42)
+    assert decode_u32(buffer, 4) == 42
+
+
+def test_float_round_trip():
+    for value in (0.0, 1.5, -2.25, 1e300, 1e-300):
+        assert unpack_float(pack_float(value)) == value
+
+
+def test_int_to_bytes_round_trip():
+    big = 2**200 + 12345
+    assert int_from_bytes(int_to_bytes(big, 32)) == big
+
+
+def test_int_to_bytes_overflow_raises():
+    with pytest.raises(OverflowError):
+        int_to_bytes(2**64, 8)
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1))
+def test_u64_round_trip_property(value):
+    assert decode_u64(encode_u64(value)) == value
+
+
+@given(st.integers(min_value=0, max_value=2**256 - 1), st.integers(min_value=32, max_value=64))
+def test_wide_int_round_trip_property(value, width):
+    assert int_from_bytes(int_to_bytes(value, width)) == value

@@ -1,0 +1,65 @@
+"""Unit tests for compound keys (Section 3.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.compound import CompoundKey, MAX_BLK, addr_of_int, blk_of_int
+
+
+def test_to_int_formula():
+    key = CompoundKey(addr=b"\x00" * 19 + b"\x01", blk=5)
+    assert key.to_int() == 1 * 2**64 + 5
+
+
+def test_int_round_trip():
+    key = CompoundKey(addr=b"\xab" * 20, blk=12345)
+    assert CompoundKey.from_int(key.to_int(), addr_size=20) == key
+
+
+def test_bytes_round_trip():
+    key = CompoundKey(addr=b"\x11" * 20, blk=99)
+    assert CompoundKey.from_bytes(key.to_bytes(), addr_size=20) == key
+
+
+def test_bytes_width():
+    key = CompoundKey(addr=b"\x00" * 32, blk=0)
+    assert len(key.to_bytes()) == 40
+
+
+def test_latest_of_uses_max_blk():
+    sentinel = CompoundKey.latest_of(b"\x01" * 20)
+    assert sentinel.blk == MAX_BLK
+
+
+def test_ordering_groups_versions_of_one_address():
+    addr = b"\x05" * 20
+    older = CompoundKey(addr=addr, blk=3).to_int()
+    newer = CompoundKey(addr=addr, blk=9).to_int()
+    other = CompoundKey(addr=b"\x06" * 20, blk=1).to_int()
+    assert older < newer < other
+
+
+def test_blk_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        CompoundKey(addr=b"\x00" * 20, blk=-1)
+    with pytest.raises(ValueError):
+        CompoundKey(addr=b"\x00" * 20, blk=MAX_BLK + 1)
+
+
+def test_wrong_width_from_bytes_rejected():
+    with pytest.raises(ValueError):
+        CompoundKey.from_bytes(b"short", addr_size=20)
+
+
+def test_extractors():
+    key = CompoundKey(addr=b"\x07" * 20, blk=77).to_int()
+    assert addr_of_int(key, 20) == b"\x07" * 20
+    assert blk_of_int(key) == 77
+
+
+@given(st.binary(min_size=20, max_size=20), st.integers(min_value=0, max_value=MAX_BLK))
+def test_round_trip_property(addr, blk):
+    key = CompoundKey(addr=addr, blk=blk)
+    assert CompoundKey.from_int(key.to_int(), 20) == key
+    assert addr_of_int(key.to_int(), 20) == addr
+    assert blk_of_int(key.to_int()) == blk

@@ -1,0 +1,111 @@
+"""Unit tests for the smart contracts and execution context."""
+
+import pytest
+
+from repro.chain.contracts import ExecutionContext, KVStoreContract, SmallBankContract
+from repro.common.errors import StorageError
+
+
+class DictBackend:
+    """Minimal backend: a dict with Put/Get."""
+
+    def __init__(self):
+        self.state = {}
+
+    def put(self, addr, value):
+        self.state[addr] = value
+
+    def get(self, addr):
+        return self.state.get(addr)
+
+
+@pytest.fixture
+def context():
+    return ExecutionContext(addr_size=20, value_size=32)
+
+
+@pytest.fixture
+def backend():
+    return DictBackend()
+
+
+def test_address_is_deterministic_and_sized(context):
+    a1 = context.address("label")
+    a2 = context.address("label")
+    assert a1 == a2
+    assert len(a1) == 20
+    assert context.address("other") != a1
+
+
+def test_int_encoding_round_trip(context):
+    for number in (0, 1, -1, 10**9, -(10**9)):
+        assert context.decode_int(context.encode_int(number)) == number
+
+
+def test_missing_value_decodes_to_zero(context):
+    assert context.decode_int(None) == 0
+
+
+def test_blob_padding(context):
+    assert len(context.encode_blob(b"short")) == 32
+    assert context.encode_blob(b"x" * 100) == b"x" * 32
+
+
+def test_create_account_and_balance(context, backend):
+    sb = SmallBankContract(context)
+    sb.execute(backend, "create_account", ("alice", 100, 50))
+    assert sb.execute(backend, "get_balance", ("alice",)) == 150
+
+
+def test_update_balance(context, backend):
+    sb = SmallBankContract(context)
+    sb.execute(backend, "create_account", ("alice", 0, 10))
+    assert sb.execute(backend, "update_balance", ("alice", 5)) == 15
+
+
+def test_update_saving(context, backend):
+    sb = SmallBankContract(context)
+    sb.execute(backend, "create_account", ("alice", 10, 0))
+    assert sb.execute(backend, "update_saving", ("alice", 7)) == 17
+
+
+def test_send_payment_conserves_money(context, backend):
+    sb = SmallBankContract(context)
+    sb.execute(backend, "create_account", ("alice", 0, 100))
+    sb.execute(backend, "create_account", ("bob", 0, 100))
+    sb.execute(backend, "send_payment", ("alice", "bob", 30))
+    assert sb.execute(backend, "get_balance", ("alice",)) == 70
+    assert sb.execute(backend, "get_balance", ("bob",)) == 130
+
+
+def test_write_check(context, backend):
+    sb = SmallBankContract(context)
+    sb.execute(backend, "create_account", ("alice", 0, 100))
+    assert sb.execute(backend, "write_check", ("alice", 25)) == 75
+
+
+def test_amalgamate_moves_everything(context, backend):
+    sb = SmallBankContract(context)
+    sb.execute(backend, "create_account", ("alice", 40, 60))
+    sb.execute(backend, "create_account", ("bob", 0, 10))
+    sb.execute(backend, "amalgamate", ("alice", "bob"))
+    assert sb.execute(backend, "get_balance", ("alice",)) == 0
+    assert sb.execute(backend, "get_balance", ("bob",)) == 110
+
+
+def test_smallbank_unknown_op(context, backend):
+    with pytest.raises(StorageError):
+        SmallBankContract(context).execute(backend, "mint", ())
+
+
+def test_kvstore_read_write(context, backend):
+    kv = KVStoreContract(context)
+    kv.execute(backend, "write", ("user1", "payload"))
+    value = kv.execute(backend, "read", ("user1",))
+    assert value.startswith(b"payload")
+    assert kv.execute(backend, "read", ("missing",)) is None
+
+
+def test_kvstore_unknown_op(context, backend):
+    with pytest.raises(StorageError):
+        KVStoreContract(context).execute(backend, "scan", ())

@@ -1,0 +1,117 @@
+"""Tests for the block executor and blocks."""
+
+import pytest
+
+from repro.chain import Block, BlockExecutor, Transaction
+from repro.chain.contracts import ExecutionContext
+from repro.common.hashing import EMPTY_DIGEST
+from repro.common.params import ColeParams, SystemParams
+from repro.core import Cole
+from repro.merkle import MerkleTree, verify_proof
+
+
+@pytest.fixture
+def cole(workdir):
+    params = ColeParams(
+        system=SystemParams(addr_size=20, value_size=32), mem_capacity=32
+    )
+    engine = Cole(workdir, params)
+    yield engine
+    engine.close()
+
+
+@pytest.fixture
+def context():
+    return ExecutionContext(addr_size=20, value_size=32)
+
+
+def make_txs(count):
+    return [
+        Transaction("kvstore", "write", (f"k{i}", f"v{i}")) for i in range(count)
+    ]
+
+
+def test_transactions_round_trip():
+    tx = Transaction("smallbank", "send_payment", ("a", "b", 10))
+    assert Transaction.from_bytes(tx.to_bytes()) == tx
+
+
+def test_transaction_digest_changes_with_args():
+    a = Transaction("kvstore", "write", ("k", "1"))
+    b = Transaction("kvstore", "write", ("k", "2"))
+    assert a.digest() != b.digest()
+
+
+def test_blocks_are_packed(cole, context):
+    executor = BlockExecutor(cole, context, txs_per_block=10)
+    metrics = executor.run(make_txs(35))
+    assert metrics.blocks == 4  # 10+10+10+5
+    assert metrics.transactions == 35
+    assert executor.height == 4
+
+
+def test_latencies_recorded(cole, context):
+    executor = BlockExecutor(cole, context, txs_per_block=5)
+    metrics = executor.run(make_txs(20))
+    assert len(metrics.latencies) == 20
+    assert metrics.tail_latency >= metrics.median_latency >= 0
+    assert metrics.throughput_tps > 0
+
+
+def test_latency_recording_can_be_disabled(cole, context):
+    executor = BlockExecutor(cole, context, txs_per_block=5, record_latencies=False)
+    metrics = executor.run(make_txs(10))
+    assert metrics.latencies == []
+    assert metrics.transactions == 10
+
+
+def test_tx_log_is_the_wal(cole, context):
+    executor = BlockExecutor(cole, context, txs_per_block=5)
+    txs = make_txs(12)
+    executor.run(txs)
+    assert executor.tx_log == txs
+
+
+def test_executed_state_visible(cole, context):
+    executor = BlockExecutor(cole, context, txs_per_block=5)
+    executor.run(make_txs(7))
+    value = executor.execute_transaction(Transaction("kvstore", "read", ("k3",)))
+    assert value.startswith(b"v3")
+
+
+def test_unknown_contract_rejected(cole, context):
+    from repro.common.errors import StorageError
+
+    executor = BlockExecutor(cole, context)
+    with pytest.raises(StorageError):
+        executor.execute_transaction(Transaction("nope", "op", ()))
+
+
+def test_block_building_with_tx_root(cole, context):
+    executor = BlockExecutor(cole, context, txs_per_block=4)
+    executor.keep_blocks = True
+    executor.run(make_txs(8))
+    assert len(executor.blocks) == 2
+    block = executor.blocks[0]
+    # The tx root authenticates each transaction.
+    tree = MerkleTree([tx.to_bytes() for tx in block.transactions], fanout=2)
+    assert tree.root == block.header.tx_root
+    proof = tree.prove(2)
+    assert verify_proof(block.transactions[2].to_bytes(), proof, block.header.tx_root)
+
+
+def test_block_chain_links(cole, context):
+    executor = BlockExecutor(cole, context, txs_per_block=4)
+    executor.keep_blocks = True
+    executor.run(make_txs(12))
+    blocks = executor.blocks
+    assert blocks[0].header.prev_hash == EMPTY_DIGEST
+    for previous, current in zip(blocks, blocks[1:]):
+        assert current.header.prev_hash == previous.header.digest()
+
+
+def test_block_header_digest_depends_on_state_root():
+    txs = make_txs(2)
+    a = Block.build(1, EMPTY_DIGEST, txs, state_root=b"\x01" * 32)
+    b = Block.build(1, EMPTY_DIGEST, txs, state_root=b"\x02" * 32)
+    assert a.header.digest() != b.header.digest()

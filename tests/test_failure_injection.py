@@ -1,0 +1,163 @@
+"""Failure injection: corrupted files, torn manifests, forged proofs.
+
+Exercises the paths a production deployment cares about: every
+authenticated structure must *detect* tampering, and recovery must
+survive garbage in the workspace.
+"""
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.common.errors import IntegrityError, StorageError, VerificationError
+from repro.common.params import ColeParams, SystemParams
+from repro.core import Cole, verify_provenance
+from repro.core.proofs import RunNegativeItem, RunProofItem, StubItem
+
+
+def make_params(async_merge=False):
+    return ColeParams(
+        system=SystemParams(addr_size=20, value_size=32),
+        mem_capacity=16,
+        size_ratio=3,
+        async_merge=async_merge,
+    )
+
+
+def build_chain(directory, seed=13, blocks=70):
+    rng = random.Random(seed)
+    cole = Cole(directory, make_params())
+    pool = [rng.randbytes(20) for _ in range(20)]
+    for blk in range(1, blocks + 1):
+        cole.begin_block(blk)
+        for _ in range(5):
+            cole.put(rng.choice(pool), rng.randbytes(32))
+        cole.commit_block()
+    return cole, pool
+
+
+def test_corrupt_value_file_changes_read_results(tmp_path):
+    directory = str(tmp_path / "c")
+    cole, pool = build_chain(directory)
+    run = cole.levels[-1].all_runs()[0]
+    cole.workspace.close()
+    # Flip bytes in the middle of the value file.
+    path = os.path.join(directory, run.name + ".val")
+    with open(path, "r+b") as handle:
+        handle.seek(100)
+        handle.write(b"\xff" * 64)
+    reopened = Cole(directory, make_params())
+    # The corruption must surface: either a read error or a provenance
+    # proof that no longer matches the (pre-corruption) manifest root.
+    tampered_detected = False
+    for addr in pool:
+        try:
+            result = reopened.prov_query(addr, 1, 70)
+            verify_provenance(result, reopened.root_digest(), addr_size=20)
+            for item in result.proof.items:
+                if isinstance(item, RunProofItem):
+                    pass
+        except (VerificationError, StorageError, IntegrityError, ValueError):
+            tampered_detected = True
+            break
+    # Verification binds Hstate to current (corrupt) data, so the honest
+    # check is against the run's *manifest* Merkle root:
+    if not tampered_detected:
+        corrupted_run = reopened.levels[-1].all_runs()[0]
+        recomputed = corrupted_run.merkle_file.root()
+        tampered_detected = recomputed != corrupted_run.merkle_root
+    assert tampered_detected
+    reopened.close()
+
+
+def test_torn_manifest_falls_back_to_empty(tmp_path):
+    directory = str(tmp_path / "torn")
+    cole, _pool = build_chain(directory, blocks=30)
+    cole.close()
+    path = os.path.join(directory, "MANIFEST.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write('{"checkpoint_blk": 5, "next_run_')  # torn write
+    with pytest.raises(json.JSONDecodeError):
+        Cole(directory, make_params())
+
+
+def test_missing_run_file_detected_on_read(tmp_path):
+    directory = str(tmp_path / "m")
+    cole, pool = build_chain(directory)
+    run = cole.levels[-1].all_runs()[0]
+    cole.workspace.close()
+    os.remove(os.path.join(directory, run.name + ".val"))
+    # Reopen: the manifest still names the run; reads that reach it fail
+    # loudly instead of returning wrong data.
+    reopened = Cole(directory, make_params())
+    with pytest.raises((StorageError, FileNotFoundError, IntegrityError)):
+        for addr in pool:
+            reopened.prov_query(addr, 1, 70)
+    reopened.close()
+
+
+def test_forged_negative_item_rejected(tmp_path):
+    directory = str(tmp_path / "f")
+    cole, pool = build_chain(directory)
+    root = cole.root_digest()
+    addr = pool[0]
+    result = cole.prov_query(addr, 10, 60)
+    # Replace a searched run item with a "bloom says absent" claim.
+    for index, item in enumerate(result.proof.items):
+        if isinstance(item, RunProofItem):
+            from repro.bloomfilter import BloomFilter
+
+            empty_bloom = BloomFilter(64, 3)
+            result.proof.items[index] = RunNegativeItem(
+                bloom_bytes=empty_bloom.to_bytes(),
+                merkle_root=b"\x00" * 32,
+            )
+            with pytest.raises(VerificationError):
+                verify_provenance(result, root, addr_size=20)
+            break
+    cole.close()
+
+
+def test_forged_stub_hiding_results_rejected(tmp_path):
+    directory = str(tmp_path / "s")
+    cole, pool = build_chain(directory)
+    root = cole.root_digest()
+    addr = pool[1]
+    result = cole.prov_query(addr, 10, 60)
+    # Replace every searched item with a stub carrying a fake digest: the
+    # reconstructed Hstate must not match.
+    replaced = False
+    for index, item in enumerate(result.proof.items):
+        if not isinstance(item, StubItem):
+            result.proof.items[index] = StubItem(digest=b"\x42" * 32)
+            replaced = True
+    assert replaced
+    with pytest.raises(VerificationError):
+        verify_provenance(result, root, addr_size=20)
+    cole.close()
+
+
+def test_bloom_tamper_changes_commitment(tmp_path):
+    directory = str(tmp_path / "b")
+    cole, _pool = build_chain(directory)
+    run = cole.levels[-1].all_runs()[0]
+    before = run.commitment()
+    run.bloom.add(b"\x99" * 20)
+    assert run.commitment() != before  # blooms are bound into Hstate (§4)
+    cole.close()
+
+
+def test_recovery_after_partial_run_files(tmp_path):
+    directory = str(tmp_path / "p")
+    cole, pool = build_chain(directory, blocks=40)
+    cole.close()
+    # A torn merge left one orphan file of a three-file run.
+    with open(os.path.join(directory, "L2_77777777.idx"), "wb") as handle:
+        handle.write(b"\x00" * 100)
+    reopened = Cole(directory, make_params())
+    assert "L2_77777777.idx" not in set(reopened.workspace.list_files())
+    # And the store still serves reads.
+    assert any(reopened.get(addr) is not None for addr in pool)
+    reopened.close()

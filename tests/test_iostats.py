@@ -1,0 +1,67 @@
+"""Unit tests for IO accounting."""
+
+import threading
+
+from repro.diskio.iostats import IOStats
+
+
+def test_counters_accumulate():
+    stats = IOStats()
+    stats.record_read("value", 2)
+    stats.record_write("index")
+    assert stats.page_reads["value"] == 2
+    assert stats.page_writes["index"] == 1
+    assert stats.total_reads == 2
+    assert stats.total_writes == 1
+    assert stats.total == 3
+
+
+def test_snapshot_is_independent():
+    stats = IOStats()
+    stats.record_read("a")
+    snap = stats.snapshot()
+    stats.record_read("a")
+    assert snap.page_reads["a"] == 1
+    assert stats.page_reads["a"] == 2
+
+
+def test_delta():
+    stats = IOStats()
+    stats.record_write("merkle", 5)
+    before = stats.snapshot()
+    stats.record_write("merkle", 3)
+    stats.record_read("value", 1)
+    diff = stats.delta(before)
+    assert diff.page_writes["merkle"] == 3
+    assert diff.page_reads["value"] == 1
+
+
+def test_reset():
+    stats = IOStats()
+    stats.record_read("x")
+    stats.reset()
+    assert stats.total == 0
+
+
+def test_categories_sorted():
+    stats = IOStats()
+    stats.record_read("b")
+    stats.record_write("a")
+    assert list(stats.categories()) == ["a", "b"]
+
+
+def test_thread_safety_under_contention():
+    stats = IOStats()
+
+    def hammer():
+        for _ in range(1000):
+            stats.record_read("t")
+            stats.record_write("t")
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert stats.page_reads["t"] == 4000
+    assert stats.page_writes["t"] == 4000

@@ -1,0 +1,130 @@
+"""Unit and property tests for the LSM key-value store."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import StorageError
+from repro.kvstore import LSMStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    instance = LSMStore(str(tmp_path / "kv"), memtable_capacity=32, size_ratio=3)
+    yield instance
+    instance.close()
+
+
+def test_put_get(store):
+    store.put(b"key", b"value")
+    assert store.get(b"key") == b"value"
+
+
+def test_get_missing(store):
+    assert store.get(b"nope") is None
+    assert b"nope" not in store
+
+
+def test_overwrite(store):
+    store.put(b"k", b"v1")
+    store.put(b"k", b"v2")
+    assert store.get(b"k") == b"v2"
+
+
+def test_overwrite_across_flush(store):
+    store.put(b"k", b"v1")
+    store.flush()
+    store.put(b"k", b"v2")
+    store.flush()
+    assert store.get(b"k") == b"v2"
+
+
+def test_delete(store):
+    store.put(b"k", b"v")
+    store.delete(b"k")
+    assert store.get(b"k") is None
+
+
+def test_delete_survives_flush_and_compaction(store):
+    for i in range(200):
+        store.put(f"k{i:04d}".encode(), b"v")
+    store.delete(b"k0100")
+    for i in range(200, 400):
+        store.put(f"k{i:04d}".encode(), b"v")
+    assert store.get(b"k0100") is None
+    assert store.get(b"k0099") == b"v"
+
+
+def test_empty_key_rejected(store):
+    with pytest.raises(StorageError):
+        store.put(b"", b"v")
+    with pytest.raises(StorageError):
+        store.delete(b"")
+
+
+def test_items_merges_all_levels(store):
+    model = {}
+    rng = random.Random(1)
+    for _ in range(500):
+        key = f"k{rng.randrange(200):04d}".encode()
+        value = rng.randbytes(8)
+        store.put(key, value)
+        model[key] = value
+    assert dict(store.items()) == model
+
+
+def test_compaction_bounds_table_count(store):
+    for i in range(2000):
+        store.put(f"k{i:06d}".encode(), b"v" * 8)
+    store.flush()
+    total_tables = sum(len(level) for level in store._levels)
+    assert total_tables < 12
+
+
+def test_storage_bytes_positive_after_flush(store):
+    store.put(b"k", b"v")
+    store.flush()
+    assert store.storage_bytes() > 0
+
+
+def test_two_stores_share_directory(tmp_path):
+    a = LSMStore(str(tmp_path / "shared"), name="a", memtable_capacity=4)
+    b = LSMStore(str(tmp_path / "shared"), name="b", memtable_capacity=4)
+    for i in range(10):
+        a.put(f"a{i}".encode(), b"1")
+        b.put(f"b{i}".encode(), b"2")
+    assert a.get(b"a3") == b"1"
+    assert b.get(b"b3") == b"2"
+    a.close()
+    b.close()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["put", "delete"]),
+            st.binary(min_size=1, max_size=6),
+            st.binary(min_size=0, max_size=6),
+        ),
+        max_size=300,
+    )
+)
+def test_matches_dict_model_property(tmp_path_factory, operations):
+    directory = str(tmp_path_factory.mktemp("kvprop"))
+    store = LSMStore(directory, memtable_capacity=16, size_ratio=3)
+    model = {}
+    try:
+        for op, key, value in operations:
+            if op == "put":
+                store.put(key, value)
+                model[key] = value
+            else:
+                store.delete(key)
+                model.pop(key, None)
+        for key, value in model.items():
+            assert store.get(key) == value
+        assert dict(store.items()) == model
+    finally:
+        store.close()

@@ -1,0 +1,113 @@
+"""Unit tests for the level/group machinery (memlevel, disklevel)."""
+
+import threading
+
+import pytest
+
+from repro.common.params import ColeParams, SystemParams
+from repro.core.compound import CompoundKey
+from repro.core.disklevel import DiskGroup, DiskLevel, PendingMerge
+from repro.core.memlevel import MemGroup
+from repro.core.run import Run
+from repro.diskio.workspace import Workspace
+
+
+@pytest.fixture
+def params():
+    return ColeParams(
+        system=SystemParams(addr_size=8, value_size=8, page_size=256),
+        mem_capacity=8,
+        size_ratio=2,
+    )
+
+
+def make_run(tmp_path, params, name, first_byte):
+    ws = Workspace(str(tmp_path / "ws"), params.system.page_size)
+    entries = [
+        (CompoundKey(addr=bytes([first_byte]) * 8, blk=blk).to_int(), b"\x01" * 8)
+        for blk in range(1, 5)
+    ]
+    return Run.build(ws, name, 1, iter(entries), len(entries), params)
+
+
+def test_mem_group_tracks_max_blk():
+    group = MemGroup(key_width=16)
+    group.insert(CompoundKey(addr=b"\x01" * 8, blk=5).to_int(), b"v")
+    group.insert(CompoundKey(addr=b"\x02" * 8, blk=3).to_int(), b"v")
+    assert group.max_blk == 5
+    group.clear()
+    assert group.max_blk == -1
+    assert len(group) == 0
+
+
+def test_mem_group_drain_is_sorted():
+    group = MemGroup(key_width=16)
+    keys = [CompoundKey(addr=bytes([b]) * 8, blk=1).to_int() for b in (9, 3, 7)]
+    for key in keys:
+        group.insert(key, b"v")
+    drained = group.drain()
+    assert [key for key, _v in drained] == sorted(keys)
+
+
+def test_disk_group_search_order_is_newest_first(tmp_path, params):
+    group = DiskGroup()
+    run_a = make_run(tmp_path, params, "a", 1)
+    run_b = make_run(tmp_path, params, "b", 2)
+    group.add(run_a)
+    group.add(run_b)
+    assert group.newest_first() == [run_b, run_a]
+    assert len(group) == 2
+
+
+def test_disk_group_delete_all_removes_files(tmp_path, params):
+    group = DiskGroup()
+    run = make_run(tmp_path, params, "victim", 3)
+    group.add(run)
+    group.delete_all()
+    assert len(group) == 0
+    assert run.storage_bytes() == 0
+
+
+def test_disk_level_switch_groups(tmp_path, params):
+    level = DiskLevel(1)
+    run = make_run(tmp_path, params, "w", 4)
+    level.writing.add(run)
+    level.switch_groups()
+    assert level.merging.runs == [run]
+    assert level.writing.runs == []
+
+
+def test_disk_level_search_order(tmp_path, params):
+    level = DiskLevel(1)
+    older = make_run(tmp_path, params, "old", 5)
+    newer = make_run(tmp_path, params, "new", 6)
+    level.merging.add(older)
+    level.writing.add(newer)
+    assert level.search_order() == [newer, older]
+    assert level.all_runs() == [newer, older]
+
+
+def test_pending_merge_propagates_error():
+    def boom():
+        raise RuntimeError("merge failed")
+
+    pending = PendingMerge(thread=threading.Thread(target=lambda: None))
+
+    def target():
+        try:
+            boom()
+        except BaseException as exc:
+            pending.error = exc
+
+    pending.thread = threading.Thread(target=target)
+    pending.thread.start()
+    with pytest.raises(RuntimeError):
+        pending.wait()
+
+
+def test_pending_merge_wait_joins_thread():
+    seen = []
+    pending = PendingMerge(thread=threading.Thread(target=lambda: seen.append(1)))
+    pending.thread.start()
+    pending.wait()
+    assert seen == [1]

@@ -1,0 +1,105 @@
+"""Tests for MB-tree authenticated range proofs."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import VerificationError
+from repro.mbtree import MBTree, verify_range_proof
+from repro.mbtree.proof import ProofHash, ProofLeaf
+
+
+def build(entries, order=4, key_width=8):
+    tree = MBTree(order=order, key_width=key_width)
+    for key, value in entries:
+        tree.insert(key, value)
+    return tree
+
+
+def test_range_proof_round_trip():
+    tree = build([(i * 10, bytes([i])) for i in range(1, 30)])
+    results, proof = tree.range_proof(95, 155)
+    disclosed = verify_range_proof(proof, tree.root_hash(), key_width=8)
+    # The floor entry (90) plus everything in [95, 155].
+    keys = [k for k, _ in disclosed]
+    assert 90 in keys  # floor extension
+    assert all(k in keys for k in (100, 110, 120, 130, 140, 150))
+    assert results == [(k, v) for k, v in disclosed]
+
+
+def test_range_proof_empty_tree_region():
+    tree = build([(100, b"a"), (200, b"b")])
+    _results, proof = tree.range_proof(300, 400)
+    disclosed = verify_range_proof(proof, tree.root_hash(), key_width=8)
+    assert (200, b"b") in disclosed  # floor proves nothing exists in range
+
+
+def test_range_proof_before_first_key():
+    tree = build([(100, b"a"), (200, b"b")])
+    results, proof = tree.range_proof(10, 50)
+    disclosed = verify_range_proof(proof, tree.root_hash(), key_width=8)
+    assert results == []
+    assert all(k > 50 or k < 10 for k, _ in disclosed) or disclosed == []
+
+
+def test_tampered_value_fails():
+    tree = build([(i, bytes([i])) for i in range(1, 60)])
+    _results, proof = tree.range_proof(10, 20)
+
+    def tamper(node):
+        if isinstance(node, ProofLeaf) and node.values:
+            node.values[0] = b"\xff" + node.values[0][1:]
+            return True
+        if hasattr(node, "children"):
+            return any(tamper(child) for child in node.children)
+        return False
+
+    assert tamper(proof.root)
+    with pytest.raises(VerificationError):
+        verify_range_proof(proof, tree.root_hash(), key_width=8)
+
+
+def test_wrong_root_fails():
+    tree = build([(i, bytes([i])) for i in range(1, 20)])
+    _results, proof = tree.range_proof(5, 10)
+    other = build([(1, b"z")])
+    with pytest.raises(VerificationError):
+        verify_range_proof(proof, other.root_hash(), key_width=8)
+
+
+def test_proof_prunes_off_path_subtrees():
+    tree = build([(i, bytes([i % 250])) for i in range(1, 200)], order=4)
+    _results, proof = tree.range_proof(50, 55)
+
+    def count(node, kind):
+        total = isinstance(node, kind)
+        for child in getattr(node, "children", []):
+            total += count(child, kind)
+        return total
+
+    assert count(proof.root, ProofHash) > 0  # something was pruned
+    assert proof.size_bytes() > 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.dictionaries(
+        st.integers(min_value=0, max_value=5000),
+        st.binary(min_size=1, max_size=4),
+        min_size=1,
+        max_size=150,
+    ),
+    st.integers(min_value=0, max_value=5000),
+    st.integers(min_value=0, max_value=500),
+)
+def test_range_proof_completeness_property(mapping, low, span):
+    high = low + span
+    tree = build(mapping.items(), order=5)
+    results, proof = tree.range_proof(low, high)
+    disclosed = verify_range_proof(proof, tree.root_hash(), key_width=8)
+    in_range = sorted((k, v) for k, v in mapping.items() if low <= k <= high)
+    disclosed_in_range = [(k, v) for k, v in disclosed if low <= k <= high]
+    assert disclosed_in_range == in_range
+    result_in_range = [(k, v) for k, v in results if low <= k <= high]
+    assert result_in_range == in_range

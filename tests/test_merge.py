@@ -1,0 +1,46 @@
+"""Unit tests for the k-way run merge."""
+
+from repro.core.merge import merge_entry_streams
+
+
+def test_disjoint_streams():
+    a = [(1, b"a"), (3, b"c")]
+    b = [(2, b"b"), (4, b"d")]
+    assert list(merge_entry_streams([a, b])) == [(1, b"a"), (2, b"b"), (3, b"c"), (4, b"d")]
+
+
+def test_empty_streams():
+    assert list(merge_entry_streams([])) == []
+    assert list(merge_entry_streams([[], []])) == []
+
+
+def test_single_stream_passthrough():
+    entries = [(i, bytes([i])) for i in range(10)]
+    assert list(merge_entry_streams([entries])) == entries
+
+
+def test_duplicate_keys_newest_stream_wins():
+    older = [(5, b"old"), (7, b"keep")]
+    newer = [(5, b"new")]
+    merged = list(merge_entry_streams([older, newer]))
+    assert merged == [(5, b"new"), (7, b"keep")]
+
+
+def test_many_streams_interleaved():
+    streams = [[(i * 10 + s, bytes([s])) for i in range(20)] for s in range(5)]
+    merged = list(merge_entry_streams(streams))
+    keys = [key for key, _value in merged]
+    assert keys == sorted(keys)
+    assert len(merged) == 100
+
+
+def test_merge_is_lazy():
+    def infinite():
+        key = 0
+        while True:
+            yield key, b"x"
+            key += 1
+
+    stream = merge_entry_streams([infinite()])
+    first = [next(stream) for _ in range(3)]
+    assert first == [(0, b"x"), (1, b"x"), (2, b"x")]

@@ -1,0 +1,83 @@
+"""Unit and property tests for the in-memory m-ary Merkle tree."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.hashing import EMPTY_DIGEST, hash_bytes, hash_concat
+from repro.merkle import MerkleTree, verify_proof
+
+
+def test_empty_tree_root():
+    assert MerkleTree([]).root == EMPTY_DIGEST
+
+
+def test_single_leaf_root_is_leaf_hash():
+    tree = MerkleTree([b"only"])
+    assert tree.root == hash_bytes(b"only")
+
+
+def test_binary_tree_matches_manual_construction():
+    items = [b"tx1", b"tx2", b"tx3", b"tx4"]
+    tree = MerkleTree(items, fanout=2)
+    h = [hash_bytes(item) for item in items]
+    expected = hash_concat([hash_concat(h[0:2]), hash_concat(h[2:4])])
+    assert tree.root == expected
+
+
+def test_incomplete_last_group():
+    # 3 leaves with fanout 2: the last parent hashes a single child.
+    items = [b"a", b"b", b"c"]
+    tree = MerkleTree(items, fanout=2)
+    h = [hash_bytes(item) for item in items]
+    expected = hash_concat([hash_concat(h[0:2]), hash_concat([h[2]])])
+    assert tree.root == expected
+
+
+def test_fanout_must_be_at_least_two():
+    with pytest.raises(ValueError):
+        MerkleTree([b"a"], fanout=1)
+
+
+def test_proof_verifies_every_leaf():
+    items = [f"tx{i}".encode() for i in range(13)]
+    for fanout in (2, 3, 4, 7):
+        tree = MerkleTree(items, fanout=fanout)
+        for index, item in enumerate(items):
+            proof = tree.prove(index)
+            assert verify_proof(item, proof, tree.root)
+
+
+def test_proof_fails_for_wrong_item():
+    items = [b"a", b"b", b"c", b"d"]
+    tree = MerkleTree(items)
+    proof = tree.prove(1)
+    assert not verify_proof(b"tampered", proof, tree.root)
+
+
+def test_proof_fails_for_wrong_root():
+    items = [b"a", b"b", b"c", b"d"]
+    tree = MerkleTree(items)
+    proof = tree.prove(2)
+    other = MerkleTree([b"x", b"y"]).root
+    assert not verify_proof(b"c", proof, other)
+
+
+def test_prove_out_of_range():
+    tree = MerkleTree([b"a"])
+    with pytest.raises(IndexError):
+        tree.prove(1)
+
+
+def test_proof_size_positive():
+    tree = MerkleTree([f"{i}".encode() for i in range(16)], fanout=4)
+    assert tree.prove(5).size_bytes() > 0
+
+
+@given(
+    st.lists(st.binary(min_size=1, max_size=8), min_size=1, max_size=40),
+    st.integers(min_value=2, max_value=8),
+)
+def test_all_leaves_verify_property(items, fanout):
+    tree = MerkleTree(items, fanout=fanout)
+    for index, item in enumerate(items):
+        assert verify_proof(item, tree.prove(index), tree.root)

@@ -1,0 +1,108 @@
+"""Unit tests for MPT nibble paths and node codecs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import StorageError
+from repro.mpt.nibbles import (
+    bytes_to_nibbles,
+    common_prefix_len,
+    nibbles_to_bytes,
+    pack_nibbles,
+    unpack_nibbles,
+)
+from repro.mpt.node import (
+    BranchNode,
+    ExtensionNode,
+    LeafNode,
+    decode_node,
+    encode_node,
+    node_digest,
+)
+
+
+def test_bytes_to_nibbles():
+    assert bytes_to_nibbles(b"\xab\x01") == (0xA, 0xB, 0x0, 0x1)
+
+
+def test_nibbles_round_trip():
+    data = b"\xde\xad\xbe\xef"
+    assert nibbles_to_bytes(bytes_to_nibbles(data)) == data
+
+
+def test_odd_nibbles_cannot_round_trip():
+    with pytest.raises(ValueError):
+        nibbles_to_bytes((1, 2, 3))
+
+
+def test_pack_unpack_even_and_odd():
+    for path in ((), (5,), (1, 2), (3, 4, 5), tuple(range(16))):
+        packed = pack_nibbles(path)
+        unpacked, consumed = unpack_nibbles(packed)
+        assert unpacked == path
+        assert consumed == len(packed)
+
+
+def test_common_prefix_len():
+    assert common_prefix_len((1, 2, 3), (1, 2, 9)) == 2
+    assert common_prefix_len((1,), (1,)) == 1
+    assert common_prefix_len((), (1,)) == 0
+
+
+def test_leaf_codec_round_trip():
+    node = LeafNode(path=(1, 2, 3), value=b"payload")
+    assert decode_node(encode_node(node)) == node
+
+
+def test_extension_codec_round_trip():
+    node = ExtensionNode(path=(0xF,), child=b"\x11" * 32)
+    assert decode_node(encode_node(node)) == node
+
+
+def test_branch_codec_round_trip():
+    children = [None] * 16
+    children[3] = b"\x22" * 32
+    children[15] = b"\x33" * 32
+    node = BranchNode(children=tuple(children), value=b"branch-value")
+    assert decode_node(encode_node(node)) == node
+
+
+def test_branch_without_value():
+    children = [None] * 16
+    children[0] = b"\x01" * 32
+    node = BranchNode(children=tuple(children), value=None)
+    assert decode_node(encode_node(node)) == node
+
+
+def test_digest_is_deterministic_and_distinct():
+    a = LeafNode(path=(1,), value=b"x")
+    b = LeafNode(path=(1,), value=b"y")
+    assert node_digest(a) == node_digest(a)
+    assert node_digest(a) != node_digest(b)
+
+
+def test_decode_garbage_rejected():
+    with pytest.raises(StorageError):
+        decode_node(b"")
+    with pytest.raises(StorageError):
+        decode_node(b"\x7f???")
+
+
+def test_branch_wrong_child_count_rejected():
+    node = BranchNode(children=(None,) * 4, value=None)
+    with pytest.raises(StorageError):
+        encode_node(node)
+
+
+@given(st.binary(min_size=0, max_size=20))
+def test_nibble_round_trip_property(data):
+    assert nibbles_to_bytes(bytes_to_nibbles(data)) == data
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=15), max_size=40).map(tuple),
+    st.binary(min_size=0, max_size=40),
+)
+def test_leaf_codec_property(path, value):
+    node = LeafNode(path=path, value=value)
+    assert decode_node(encode_node(node)) == node

@@ -1,0 +1,84 @@
+"""Tests for MPT Merkle-path proofs."""
+
+import random
+
+import pytest
+
+from repro.common.errors import VerificationError
+from repro.kvstore import LSMStore
+from repro.mpt import MPTrie, verify_mpt_proof
+from repro.mpt.proof import MPTProof
+
+
+@pytest.fixture
+def trie_with_data(tmp_path):
+    store = LSMStore(str(tmp_path / "kv"), memtable_capacity=1024)
+    trie = MPTrie(store)
+    rng = random.Random(12)
+    model = {}
+    root = None
+    for _ in range(200):
+        key = rng.randbytes(20)
+        value = rng.randbytes(16)
+        root = trie.put(root, key, value)
+        model[key] = value
+    yield trie, root, model, rng
+    store.close()
+
+
+def test_existence_proofs_verify(trie_with_data):
+    trie, root, model, rng = trie_with_data
+    for key in rng.sample(list(model), 30):
+        value, proof = trie.get_with_proof(root, key)
+        assert value == model[key]
+        assert verify_mpt_proof(proof, root) == value
+
+
+def test_non_existence_proofs_verify(trie_with_data):
+    trie, root, _model, rng = trie_with_data
+    for _ in range(10):
+        ghost = rng.randbytes(20)
+        value, proof = trie.get_with_proof(root, ghost)
+        assert value is None
+        assert verify_mpt_proof(proof, root) is None
+
+
+def test_tampered_node_fails(trie_with_data):
+    trie, root, model, rng = trie_with_data
+    key = next(iter(model))
+    _value, proof = trie.get_with_proof(root, key)
+    nodes = list(proof.nodes)
+    nodes[-1] = nodes[-1][:-1] + bytes([nodes[-1][-1] ^ 0xFF])
+    with pytest.raises(VerificationError):
+        verify_mpt_proof(MPTProof(key=key, nodes=nodes), root)
+
+
+def test_truncated_proof_fails(trie_with_data):
+    trie, root, model, _rng = trie_with_data
+    key = next(iter(model))
+    _value, proof = trie.get_with_proof(root, key)
+    if len(proof.nodes) < 2:
+        pytest.skip("proof too short to truncate")
+    truncated = MPTProof(key=key, nodes=proof.nodes[:-1])
+    with pytest.raises(VerificationError):
+        verify_mpt_proof(truncated, root)
+
+
+def test_wrong_root_fails(trie_with_data):
+    trie, root, model, _rng = trie_with_data
+    key = next(iter(model))
+    _value, proof = trie.get_with_proof(root, key)
+    with pytest.raises(VerificationError):
+        verify_mpt_proof(proof, b"\x00" * 32)
+
+
+def test_empty_trie_proof():
+    proof = MPTProof(key=b"\x01" * 20, nodes=[])
+    assert verify_mpt_proof(proof, None) is None
+
+
+def test_proof_size_positive(trie_with_data):
+    trie, root, model, _rng = trie_with_data
+    key = next(iter(model))
+    _value, proof = trie.get_with_proof(root, key)
+    assert proof.size_bytes() > 32

@@ -1,0 +1,148 @@
+"""Unit and property tests for the Merkle Patricia Trie."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kvstore import LSMStore
+from repro.mpt import MPTrie
+
+
+@pytest.fixture
+def store(tmp_path):
+    instance = LSMStore(str(tmp_path / "kv"), memtable_capacity=512)
+    yield instance
+    instance.close()
+
+
+def test_insert_and_get(store):
+    trie = MPTrie(store)
+    root = trie.put(None, b"\x01" * 20, b"one")
+    root = trie.put(root, b"\x02" * 20, b"two")
+    assert trie.get(root, b"\x01" * 20) == b"one"
+    assert trie.get(root, b"\x02" * 20) == b"two"
+    assert trie.get(root, b"\x03" * 20) is None
+
+
+def test_empty_root_get(store):
+    trie = MPTrie(store)
+    assert trie.get(None, b"\x01" * 20) is None
+
+
+def test_overwrite_value(store):
+    trie = MPTrie(store)
+    key = b"\xaa" * 20
+    root = trie.put(None, key, b"v1")
+    root = trie.put(root, key, b"v2")
+    assert trie.get(root, key) == b"v2"
+
+
+def test_shared_prefix_split(store):
+    trie = MPTrie(store)
+    a = b"\x12\x34" + b"\x00" * 18
+    b = b"\x12\x35" + b"\x00" * 18
+    root = trie.put(None, a, b"A")
+    root = trie.put(root, b, b"B")
+    assert trie.get(root, a) == b"A"
+    assert trie.get(root, b) == b"B"
+
+
+def test_root_is_deterministic(store, tmp_path):
+    keys = [bytes([i]) * 20 for i in range(40)]
+    trie1 = MPTrie(store)
+    root1 = None
+    for key in keys:
+        root1 = trie1.put(root1, key, key[:4])
+    other_store = LSMStore(str(tmp_path / "kv2"), memtable_capacity=512)
+    trie2 = MPTrie(other_store)
+    root2 = None
+    for key in reversed(keys):
+        root2 = trie2.put(root2, key, key[:4])
+    assert root1 == root2  # trie roots are insertion-order independent
+    other_store.close()
+
+
+def test_persistent_mode_keeps_history(store):
+    trie = MPTrie(store, persistent=True)
+    key = b"\x42" * 20
+    root1 = trie.put(None, key, b"old")
+    root2 = trie.put(root1, key, b"new")
+    assert trie.get(root1, key) == b"old"
+    assert trie.get(root2, key) == b"new"
+
+
+def test_transient_mode_discards_history(store):
+    trie = MPTrie(store, persistent=False)
+    key = b"\x42" * 20
+    root1 = trie.put(None, key, b"old")
+    root2 = trie.put(root1, key, b"new")
+    assert trie.get(root2, key) == b"new"
+    # The old leaf was deleted from the store.
+    from repro.common.errors import IntegrityError
+
+    with pytest.raises(IntegrityError):
+        trie.get(root1, key)
+
+
+def test_transient_mode_uses_less_storage(tmp_path):
+    def run(persistent):
+        store = LSMStore(str(tmp_path / f"kv-{persistent}"), memtable_capacity=128)
+        trie = MPTrie(store, persistent=persistent)
+        rng = random.Random(5)
+        keys = [rng.randbytes(20) for _ in range(30)]
+        root = None
+        for _ in range(15):
+            for key in keys:
+                root = trie.put(root, key, rng.randbytes(32))
+        store.flush()
+        size = store.storage_bytes()
+        store.close()
+        return size
+
+    assert run(False) < run(True)
+
+
+def test_depth_reported(store):
+    trie = MPTrie(store)
+    rng = random.Random(6)
+    root = None
+    keys = [rng.randbytes(20) for _ in range(100)]
+    for key in keys:
+        root = trie.put(root, key, b"v")
+    depths = [trie.depth(root, key) for key in keys[:10]]
+    assert all(depth >= 2 for depth in depths)
+
+
+def test_large_trie_matches_dict(store):
+    trie = MPTrie(store)
+    rng = random.Random(8)
+    model = {}
+    root = None
+    for _ in range(1500):
+        key = rng.randbytes(20)
+        value = rng.randbytes(16)
+        root = trie.put(root, key, value)
+        model[key] = value
+    for key in rng.sample(list(model), 150):
+        assert trie.get(root, key) == model[key]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.dictionaries(
+        st.binary(min_size=4, max_size=4), st.binary(min_size=1, max_size=8),
+        min_size=1, max_size=60,
+    )
+)
+def test_trie_matches_dict_property(tmp_path_factory, mapping):
+    store = LSMStore(str(tmp_path_factory.mktemp("mptprop")), memtable_capacity=4096)
+    try:
+        trie = MPTrie(store)
+        root = None
+        for key, value in mapping.items():
+            root = trie.put(root, key, value)
+        for key, value in mapping.items():
+            assert trie.get(root, key) == value
+    finally:
+        store.close()

@@ -1,0 +1,119 @@
+"""Unit tests for the paged-file substrate."""
+
+import os
+
+import pytest
+
+from repro.common.errors import StorageError
+from repro.diskio.iostats import IOStats
+from repro.diskio.pagefile import PagedFile
+
+
+@pytest.fixture
+def pagefile(tmp_path):
+    return PagedFile(str(tmp_path / "data.pg"), page_size=256, category="test")
+
+
+def test_append_returns_sequential_ids(pagefile):
+    assert pagefile.append_page(b"a" * 256) == 0
+    assert pagefile.append_page(b"b" * 256) == 1
+    assert pagefile.num_pages == 2
+
+
+def test_short_append_is_zero_padded(pagefile):
+    pagefile.append_page(b"xy")
+    data = pagefile.read_page(0)
+    assert data[:2] == b"xy"
+    assert data[2:] == b"\x00" * 254
+
+
+def test_read_round_trip(pagefile):
+    payload = bytes(range(256))
+    pagefile.append_page(payload)
+    assert pagefile.read_page(0) == payload
+
+
+def test_write_page_overwrites(pagefile):
+    pagefile.append_page(b"a" * 256)
+    pagefile.write_page(0, b"b" * 256)
+    assert pagefile.read_page(0) == b"b" * 256
+
+
+def test_write_page_requires_full_page(pagefile):
+    pagefile.append_page(b"a" * 256)
+    with pytest.raises(StorageError):
+        pagefile.write_page(0, b"short")
+
+
+def test_out_of_range_read_raises(pagefile):
+    with pytest.raises(StorageError):
+        pagefile.read_page(0)
+
+
+def test_oversized_append_raises(pagefile):
+    with pytest.raises(StorageError):
+        pagefile.append_page(b"x" * 257)
+
+
+def test_io_is_counted(tmp_path):
+    stats = IOStats()
+    file = PagedFile(str(tmp_path / "c.pg"), 128, stats=stats, category="cat")
+    file.append_page(b"1")
+    file.read_page(0)
+    assert stats.page_writes["cat"] == 1
+    assert stats.page_reads["cat"] == 1
+
+
+def test_cache_hits_are_free(tmp_path):
+    stats = IOStats()
+    file = PagedFile(str(tmp_path / "c.pg"), 128, stats=stats, cache_pages=4)
+    file.append_page(b"1")
+    file.read_page(0)
+    file.read_page(0)
+    assert stats.total_reads == 0  # append populated the cache
+
+
+def test_cache_eviction(tmp_path):
+    stats = IOStats()
+    file = PagedFile(str(tmp_path / "c.pg"), 128, stats=stats, cache_pages=1)
+    file.append_page(b"1")
+    file.append_page(b"2")
+    file.read_page(0)  # page 0 evicted by the append of page 1
+    assert stats.total_reads == 1
+
+
+def test_preallocate_extends_without_io(tmp_path):
+    stats = IOStats()
+    file = PagedFile(str(tmp_path / "p.pg"), 128, stats=stats)
+    file.preallocate(10)
+    assert file.num_pages == 10
+    assert stats.total == 0
+    assert file.read_page(9) == b"\x00" * 128
+
+
+def test_reopen_existing_file(tmp_path):
+    path = str(tmp_path / "r.pg")
+    first = PagedFile(path, 128)
+    first.append_page(b"persist")
+    first.close()
+    second = PagedFile(path, 128)
+    assert second.num_pages == 1
+    assert second.read_page(0)[:7] == b"persist"
+
+
+def test_missing_file_without_create_raises(tmp_path):
+    with pytest.raises(StorageError):
+        PagedFile(str(tmp_path / "nope.pg"), 128, create=False)
+
+
+def test_closed_file_rejects_io(pagefile):
+    pagefile.close()
+    with pytest.raises(StorageError):
+        pagefile.append_page(b"x")
+
+
+def test_size_bytes(pagefile):
+    pagefile.append_page(b"x")
+    assert pagefile.size_bytes() == 256
+    pagefile.flush()
+    assert os.path.getsize(pagefile.path) == 256

@@ -1,0 +1,72 @@
+"""Unit tests for the parameter objects (Table 2 geometry)."""
+
+import pytest
+
+from repro.common.params import ColeParams, SystemParams
+
+
+def test_default_epsilon_matches_paper():
+    # 4 KB pages with 88-byte pairs: the paper's epsilon = 23.
+    params = SystemParams(page_size=4096, addr_size=40, value_size=40, blk_size=8)
+    assert params.pair_size == 88
+    assert params.epsilon == 23
+
+
+def test_pairs_per_page_is_two_epsilon():
+    params = SystemParams()
+    assert params.pairs_per_page // 2 == params.epsilon
+
+
+def test_key_size():
+    params = SystemParams(addr_size=20, blk_size=8)
+    assert params.key_size == 28
+
+
+def test_invalid_page_size_rejected():
+    with pytest.raises(ValueError):
+        SystemParams(page_size=0)
+
+
+def test_invalid_addr_size_rejected():
+    with pytest.raises(ValueError):
+        SystemParams(addr_size=0)
+
+
+def test_level_capacity_grows_exponentially():
+    params = ColeParams(mem_capacity=100, size_ratio=4)
+    assert params.level_capacity(1) == 400
+    assert params.level_capacity(2) == 1600
+    assert params.level_capacity(3) == 6400
+
+
+def test_run_size_is_level_capacity_of_previous():
+    params = ColeParams(mem_capacity=100, size_ratio=4)
+    assert params.run_size(1) == 100
+    assert params.run_size(2) == 400
+
+
+def test_level_capacity_rejects_level_zero():
+    with pytest.raises(ValueError):
+        ColeParams().level_capacity(0)
+
+
+def test_with_async_flag():
+    params = ColeParams()
+    assert not params.async_merge
+    assert params.with_async().async_merge
+    assert not params.with_async(False).async_merge
+
+
+def test_size_ratio_must_be_at_least_two():
+    with pytest.raises(ValueError):
+        ColeParams(size_ratio=1)
+
+
+def test_fanout_must_be_at_least_two():
+    with pytest.raises(ValueError):
+        ColeParams(mht_fanout=1)
+
+
+def test_mem_capacity_positive():
+    with pytest.raises(ValueError):
+        ColeParams(mem_capacity=0)

@@ -1,0 +1,66 @@
+"""Unit tests for the workspace directory abstraction."""
+
+import os
+
+from repro.diskio.workspace import Workspace
+
+
+def test_open_file_is_cached(tmp_path):
+    ws = Workspace(str(tmp_path / "ws"), page_size=128)
+    a = ws.open_file("f1")
+    b = ws.open_file("f1")
+    assert a is b
+
+
+def test_storage_bytes_counts_files_and_raw(tmp_path):
+    ws = Workspace(str(tmp_path / "ws"), page_size=128)
+    file = ws.open_file("f1")
+    file.append_page(b"x")
+    ws.register_raw("bloom", 100)
+    assert ws.storage_bytes() == 128 + 100
+    ws.unregister_raw("bloom")
+    assert ws.storage_bytes() == 128
+
+
+def test_remove_file(tmp_path):
+    ws = Workspace(str(tmp_path / "ws"), page_size=128)
+    file = ws.open_file("gone")
+    file.append_page(b"x")
+    ws.remove_file("gone")
+    assert not ws.exists("gone")
+    assert ws.storage_bytes() == 0
+
+
+def test_remove_missing_file_is_noop(tmp_path):
+    ws = Workspace(str(tmp_path / "ws"), page_size=128)
+    ws.remove_file("never-existed")
+
+
+def test_list_files_sorted(tmp_path):
+    ws = Workspace(str(tmp_path / "ws"), page_size=128)
+    ws.open_file("b").append_page(b"1")
+    ws.open_file("a").append_page(b"1")
+    assert list(ws.list_files()) == ["a", "b"]
+
+
+def test_destroy_removes_directory(tmp_path):
+    root = str(tmp_path / "ws")
+    ws = Workspace(root, page_size=128)
+    ws.open_file("f").append_page(b"1")
+    ws.destroy()
+    assert not os.path.exists(root)
+
+
+def test_close_file_keeps_data(tmp_path):
+    ws = Workspace(str(tmp_path / "ws"), page_size=128)
+    ws.open_file("f").append_page(b"data")
+    ws.close_file("f")
+    assert ws.exists("f")
+    reopened = ws.open_file("f")
+    assert reopened.read_page(0)[:4] == b"data"
+
+
+def test_shared_stats(tmp_path):
+    ws = Workspace(str(tmp_path / "ws"), page_size=128)
+    ws.open_file("f", category="value").append_page(b"1")
+    assert ws.stats.page_writes["value"] == 1
