@@ -9,16 +9,20 @@ See README.md for a tour, DESIGN.md for the system inventory, and
 EXPERIMENTS.md for measured reproductions of every table and figure.
 """
 
-from repro.common.params import ColeParams, SystemParams
+from repro.common.params import ColeParams, ShardParams, SystemParams
 from repro.core import Cole, CompoundKey, verify_provenance
+from repro.sharding import ShardedCole, verify_sharded_provenance
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Cole",
     "ColeParams",
+    "ShardedCole",
+    "ShardParams",
     "SystemParams",
     "CompoundKey",
     "verify_provenance",
+    "verify_sharded_provenance",
     "__version__",
 ]

@@ -8,6 +8,7 @@ see EXPERIMENTS.md for the mapping and measured outcomes).
 
 from __future__ import annotations
 
+import random
 import time
 from typing import Dict, List, Optional, Sequence
 
@@ -316,6 +317,96 @@ def run_mht_fanout(
             finally:
                 cleanup(backend, directory)
     return rows
+
+
+# =============================================================================
+# Figure 16 (extension): put throughput vs shard count
+# =============================================================================
+
+def run_sharding_scalability(
+    shard_counts: Sequence[int] = (1, 2, 4, 8),
+    blocks: int = 200,
+    puts_per_block: int = 512,
+    num_addresses: int = 4096,
+    mem_capacity: int = 512,
+    seed: int = 7,
+    repeats: int = 1,
+) -> List[Row]:
+    """Figure 16 (new): write throughput and storage vs shard count N.
+
+    Feeds the identical put stream to a ``cole-shard`` engine at each N —
+    each shard an independent COLE* instance sized like the single-node
+    engine, as horizontal scale-out would provision it — and measures the
+    blocking path: batched puts plus parallel block commits.  The
+    composite ``Hstate`` per N is recorded so determinism across repeated
+    runs is checkable from the printed series.
+
+    With ``repeats > 1`` each shard count is run that many times on fresh
+    workspaces — sweeps interleaved so background noise hits every N
+    alike — and the *fastest* run per N is reported (the standard
+    noise-robust estimator for wall-clock benchmarks).
+    """
+    from repro.bench.harness import BENCH_SYSTEM
+
+    best: Dict[int, float] = {}
+    storage: Dict[int, int] = {}
+    roots: Dict[int, bytes] = {}
+    for _attempt in range(max(1, repeats)):
+        for num_shards in shard_counts:
+            directory = fresh_dir()
+            backend = make_engine(
+                "cole-shard",
+                directory,
+                cole_overrides={"num_shards": num_shards, "mem_capacity": mem_capacity},
+            )
+            try:
+                import gc
+
+                rng = random.Random(seed)
+                pool = [
+                    rng.randbytes(BENCH_SYSTEM.addr_size) for _ in range(num_addresses)
+                ]
+                # Pre-generate the stream: the timer measures the engine,
+                # not the workload generator (which is identical per N).
+                batches = [
+                    [
+                        (rng.choice(pool), rng.randbytes(BENCH_SYSTEM.value_size))
+                        for _ in range(puts_per_block)
+                    ]
+                    for _ in range(blocks)
+                ]
+                root = b""
+                gc_was_enabled = gc.isenabled()
+                gc.disable()  # GC pauses are noise at this timescale
+                try:
+                    started = time.perf_counter()
+                    for blk, batch in enumerate(batches, 1):
+                        backend.begin_block(blk)
+                        backend.put_many(batch)
+                        root = backend.commit_block()
+                    elapsed = time.perf_counter() - started
+                finally:
+                    if gc_was_enabled:
+                        gc.enable()
+                backend.wait_for_merges()
+                storage[num_shards] = backend.storage_bytes()
+                roots[num_shards] = root
+                if num_shards not in best or elapsed < best[num_shards]:
+                    best[num_shards] = elapsed
+            finally:
+                cleanup(backend, directory)
+    total_puts = blocks * puts_per_block
+    return [
+        {
+            "shards": num_shards,
+            "puts": total_puts,
+            "elapsed_s": best[num_shards],
+            "puts_per_s": total_puts / best[num_shards] if best[num_shards] else 0.0,
+            "storage_bytes": storage[num_shards],
+            "hstate": roots[num_shards].hex()[:16],
+        }
+        for num_shards in shard_counts
+    ]
 
 
 # =============================================================================

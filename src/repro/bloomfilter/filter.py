@@ -29,6 +29,7 @@ class BloomFilter:
         self.num_hashes = num_hashes
         self._bits = bytearray((num_bits + 7) // 8)
         self._count = 0
+        self._cached_digest: Digest | None = None
 
     @classmethod
     def for_capacity(cls, capacity: int, bits_per_key: int, num_hashes: int) -> "BloomFilter":
@@ -42,6 +43,7 @@ class BloomFilter:
         for position in self._positions(item):
             self._bits[position >> 3] |= 1 << (position & 7)
         self._count += 1
+        self._cached_digest = None
 
     def __contains__(self, item: bytes) -> bool:
         return all(
@@ -97,8 +99,14 @@ class BloomFilter:
         return bloom
 
     def digest(self) -> Digest:
-        """Digest of the serialized filter (folded into the state root, §4)."""
-        return hash_bytes(self.to_bytes())
+        """Digest of the serialized filter (folded into the state root, §4).
+
+        Cached between mutations: runs are immutable once built, and the
+        digest is recomputed into ``Hstate`` at every block commit.
+        """
+        if self._cached_digest is None:
+            self._cached_digest = hash_bytes(self.to_bytes())
+        return self._cached_digest
 
     def size_bytes(self) -> int:
         """Serialized size in bytes (counted in storage accounting)."""

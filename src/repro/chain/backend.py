@@ -8,7 +8,7 @@ three baselines so the benchmark harness can swap engines freely.
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import Iterable, Optional, Tuple
 
 from repro.common.hashing import Digest
 
@@ -23,6 +23,17 @@ class StorageBackend(abc.ABC):
     @abc.abstractmethod
     def put(self, addr: bytes, value: bytes) -> None:
         """Write a state update in the current block."""
+
+    def put_many(self, items: Iterable[Tuple[bytes, bytes]]) -> None:
+        """Write a batch of state updates, in order, in the current block.
+
+        Semantically identical to calling :meth:`put` per pair (the
+        default does exactly that); engines override it to amortize
+        per-put dispatch — COLE batches the L0 inserts, the sharded
+        engine routes the whole batch in one pass.
+        """
+        for addr, value in items:
+            self.put(addr, value)
 
     @abc.abstractmethod
     def get(self, addr: bytes) -> Optional[bytes]:

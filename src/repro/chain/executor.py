@@ -60,6 +60,39 @@ class ExecutionMetrics:
         return self.latency_percentile(0.5)
 
 
+class _TxWriteBatch:
+    """One transaction's write set, flushed with a single ``put_many``.
+
+    Contracts run against this thin proxy: reads check the buffered
+    writes first (read-your-own-writes within the transaction), then fall
+    through to the backend; writes accumulate and are handed to the
+    backend in order at the end of the transaction.  Because engines give
+    duplicate ``<addr, blk>`` writes last-wins semantics, the flushed
+    batch is byte-equivalent to the unbatched put sequence.
+    """
+
+    __slots__ = ("backend", "writes")
+
+    def __init__(self, backend) -> None:
+        self.backend = backend
+        self.writes: List[tuple] = []
+
+    def get(self, addr: bytes):
+        for buffered_addr, value in reversed(self.writes):
+            if buffered_addr == addr:
+                return value
+        return self.backend.get(addr)
+
+    def put(self, addr: bytes, value: bytes) -> None:
+        self.writes.append((addr, value))
+
+    def put_many(self, items) -> None:
+        self.writes.extend(items)
+
+    def __getattr__(self, name):  # prov_query, get_at, ... pass through
+        return getattr(self.backend, name)
+
+
 class BlockExecutor:
     """Executes a transaction stream against one storage backend."""
 
@@ -69,15 +102,19 @@ class BlockExecutor:
         context: Optional[ExecutionContext] = None,
         txs_per_block: int = 100,
         record_latencies: bool = True,
+        batch_writes: bool = True,
     ) -> None:
         """Wrap ``backend`` (anything with the StorageBackend interface).
 
         ``txs_per_block`` defaults to the paper's 100 transactions/block.
+        With ``batch_writes`` (the default) each transaction's writes are
+        collected and issued as one ``put_many`` batch.
         """
         self.backend = backend
         self.context = context if context is not None else ExecutionContext()
         self.txs_per_block = txs_per_block
         self.record_latencies = record_latencies
+        self.batch_writes = batch_writes
         self.contracts: Dict[str, Contract] = {}
         for contract in (SmallBankContract(self.context), KVStoreContract(self.context)):
             self.contracts[contract.name] = contract
@@ -96,7 +133,13 @@ class BlockExecutor:
         contract = self.contracts.get(tx.contract)
         if contract is None:
             raise StorageError(f"unknown contract {tx.contract!r}")
-        return contract.execute(self.backend, tx.op, tx.args)
+        if not self.batch_writes:
+            return contract.execute(self.backend, tx.op, tx.args)
+        batch = _TxWriteBatch(self.backend)
+        result = contract.execute(batch, tx.op, tx.args)
+        if batch.writes:
+            self.backend.put_many(batch.writes)
+        return result
 
     def run(self, transactions: Iterable[Transaction]) -> ExecutionMetrics:
         """Pack ``transactions`` into blocks and execute them all."""

@@ -14,7 +14,7 @@ import sys
 from typing import List, Optional
 
 from repro.bench.report import format_bytes, format_table
-from repro.core.manifest import load_manifest
+from repro.core.manifest import MANIFEST_NAME, load_manifest
 
 _EXPERIMENTS = {
     "fig9": ("run_overall_performance", {"workload_name": "smallbank"}),
@@ -24,6 +24,7 @@ _EXPERIMENTS = {
     "fig13": ("run_size_ratio", {}),
     "fig14": ("run_provenance_range", {}),
     "fig15": ("run_mht_fanout", {}),
+    "fig16": ("run_sharding_scalability", {}),
     "table1": ("run_complexity_table", {}),
     "index-share": ("run_index_share", {}),
 }
@@ -33,6 +34,18 @@ def cmd_info(args: argparse.Namespace) -> int:
     """Print the manifest and file inventory of a COLE workspace."""
     import os
 
+    shard_dirs = sorted(
+        name
+        for name in (os.listdir(args.workspace) if os.path.isdir(args.workspace) else [])
+        if name.startswith("shard-")
+        and os.path.isfile(os.path.join(args.workspace, name, MANIFEST_NAME))
+    )
+    if shard_dirs and not os.path.isfile(os.path.join(args.workspace, MANIFEST_NAME)):
+        print(f"workspace:        {args.workspace} (sharded, {len(shard_dirs)} shards)")
+        print("inspect a shard:")
+        for name in shard_dirs:
+            print(f"  repro info {os.path.join(args.workspace, name)}")
+        return 0
     manifest = load_manifest(args.workspace)
     print(f"workspace:        {args.workspace}")
     print(f"checkpoint block: {manifest.checkpoint_blk}")
@@ -71,6 +84,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         call_kwargs["heights"] = tuple(int(h) for h in args.heights.split(","))
     if args.engines and "engines" in driver.__code__.co_varnames:
         call_kwargs["engines"] = tuple(args.engines.split(","))
+    if args.shards and "shard_counts" in driver.__code__.co_varnames:
+        call_kwargs["shard_counts"] = tuple(int(n) for n in args.shards.split(","))
     result = driver(**call_kwargs)
     if isinstance(result, dict):
         for key, value in result.items():
@@ -97,6 +112,9 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", help=f"one of {sorted(_EXPERIMENTS)}")
     experiment.add_argument("--heights", help="comma-separated block heights")
     experiment.add_argument("--engines", help="comma-separated engine names")
+    experiment.add_argument(
+        "--shards", help="comma-separated shard counts (fig16 sharding sweep)"
+    )
     experiment.set_defaults(func=cmd_experiment)
     return parser
 

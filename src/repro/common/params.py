@@ -109,3 +109,36 @@ class ColeParams:
     def with_async(self, async_merge: bool = True) -> "ColeParams":
         """Return a copy with the asynchronous-merge flag set."""
         return replace(self, async_merge=async_merge)
+
+
+@dataclass(frozen=True)
+class ShardParams:
+    """Configuration of the sharded engine (``repro.sharding``).
+
+    A sharded deployment runs ``num_shards`` fully independent COLE
+    instances, each sized like a single node (scale-out adds resources the
+    way adding machines would), with the address space hash-partitioned
+    across them.
+
+    Attributes:
+        cole: per-shard COLE parameters.  ``async_merge`` defaults to True
+            here: background merges are what the parallel commit fan-out
+            overlaps across shards.
+        num_shards: number of independent COLE shards (>= 1).
+        commit_workers: size of the commit thread pool; 0 (the default)
+            means one worker per shard.
+    """
+
+    cole: ColeParams = ColeParams(async_merge=True)
+    num_shards: int = 4
+    commit_workers: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if self.commit_workers < 0:
+            raise ValueError("commit_workers cannot be negative")
+
+    def with_shards(self, num_shards: int) -> "ShardParams":
+        """Return a copy with a different shard count."""
+        return replace(self, num_shards=num_shards)

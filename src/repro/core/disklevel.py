@@ -10,10 +10,12 @@ commit checkpoint.
 
 from __future__ import annotations
 
-import threading
 from typing import List, Optional
 
+from repro.core.merge import PendingMerge
 from repro.core.run import Run
+
+__all__ = ["DiskGroup", "DiskLevel", "PendingMerge"]
 
 
 class DiskGroup:
@@ -39,29 +41,15 @@ class DiskGroup:
             run.delete()
         self.runs.clear()
 
+    def take_all(self) -> List[Run]:
+        """Detach and return every run, keeping the files on disk.
 
-class PendingMerge:
-    """A background merge: the thread plus its (uncommitted) output run.
-
-    The output run's files exist on disk but the run belongs to no group
-    and no ``root_hash_list`` entry until the commit checkpoint — queries
-    cannot see it, which is exactly the "uncommitted file" state of
-    Figure 8.
-    """
-
-    def __init__(self, thread: threading.Thread) -> None:
-        self.thread = thread
-        self.output: Optional[Run] = None
-        self.checkpoint_puts: int = 0  # put counter covered by the output run
-        self.checkpoint_blk: int = -1  # block height covered by the output run
-        self.error: Optional[BaseException] = None
-
-    def wait(self) -> None:
-        """Block until the merge thread finishes (Algorithm 5 line 9)."""
-        if self.thread.is_alive() or self.thread.ident is not None:
-            self.thread.join()
-        if self.error is not None:
-            raise self.error
+        Used when deletion must wait until the manifest no longer names
+        the runs (Section 4.3): removing the files first would leave a
+        crash window where recovery loads a manifest whose runs are gone.
+        """
+        runs, self.runs = self.runs, []
+        return runs
 
 
 class DiskLevel:

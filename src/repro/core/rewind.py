@@ -35,18 +35,26 @@ def rewind_to(cole, target_blk: int) -> int:
     dropped += _rewind_mem_group(cole.mem_writing, target_blk)
     if cole.params.async_merge:
         dropped += _rewind_mem_group(cole.mem_merging, target_blk)
+    obsolete: List[Run] = []
     for level in cole.levels:
         for group in (level.writing, level.merging):
             rebuilt: List[Run] = []
             for run in group.runs:
-                kept, removed = _filter_run(cole, run, target_blk)
+                kept, removed, replaced = _filter_run(cole, run, target_blk)
                 dropped += removed
                 if kept is not None:
                     rebuilt.append(kept)
+                if replaced is not None:
+                    obsolete.append(replaced)
             group.runs = rebuilt
     cole.current_blk = min(cole.current_blk, target_blk)
     cole._checkpoint_blk = min(cole._checkpoint_blk, target_blk)
     cole._save_manifest()
+    # Rebuilt-away runs are deleted only after the manifest stopped
+    # naming them; earlier deletion leaves a crash window where recovery
+    # loads a manifest whose runs are gone (Section 4.3).
+    for run in obsolete:
+        run.delete()
     return dropped
 
 
@@ -84,8 +92,9 @@ def _rewind_mem_group(group, target_blk: int) -> int:
 def _filter_run(cole, run: Run, target_blk: int):
     """Rebuild ``run`` without post-target versions.
 
-    Returns ``(new_run_or_None, versions_removed)``; the original run's
-    files are deleted whenever a rebuild happens.
+    Returns ``(new_run_or_None, versions_removed, replaced_run_or_None)``;
+    when a rebuild happens the original run is handed back for deferred
+    deletion (after the manifest is saved), not deleted here.
     """
     survivors: List[Tuple[int, bytes]] = []
     removed = 0
@@ -95,12 +104,11 @@ def _filter_run(cole, run: Run, target_blk: int):
         else:
             removed += 1
     if removed == 0:
-        return run, 0
-    run.delete()
+        return run, 0, None
     if not survivors:
-        return None, removed
+        return None, removed, run
     name = cole._next_run_name(run.level)
     rebuilt = Run.build(
         cole.workspace, name, run.level, iter(survivors), len(survivors), cole.params
     )
-    return rebuilt, removed
+    return rebuilt, removed, run

@@ -21,8 +21,7 @@ aborted merges restart.
 
 from __future__ import annotations
 
-import threading
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.common.errors import StorageError
 from repro.common.hashing import Digest, hash_concat
@@ -31,7 +30,7 @@ from repro.core.compound import CompoundKey, MAX_BLK, addr_of_int, blk_of_int
 from repro.core.disklevel import DiskLevel, PendingMerge
 from repro.core.manifest import Manifest, RunRecord, load_manifest, save_manifest
 from repro.core.memlevel import MemGroup
-from repro.core.merge import merge_entry_streams
+from repro.core.merge import MergeScheduler, merge_entry_streams
 from repro.core.proofs import (
     MemProofItem,
     ProofItem,
@@ -64,6 +63,7 @@ class Cole:
         self.mem_writing = MemGroup(key_width)
         self.mem_merging = MemGroup(key_width)
         self.mem_pending: Optional[PendingMerge] = None
+        self.scheduler = MergeScheduler()
         self.levels: List[DiskLevel] = []  # levels[i] is on-disk level i+1
         self.current_blk = 0
         self.puts_total = 0
@@ -82,7 +82,7 @@ class Cole:
             raise StorageError("block heights must be non-decreasing (no forks, §4.3)")
         self.current_blk = height
 
-    def commit_block(self) -> Digest:
+    def commit_block(self, force_cascade: Optional[bool] = None) -> Digest:
         """Finalize the current block and return ``Hstate`` (Algorithm 1
         line 13 / Algorithm 5 line 22).
 
@@ -91,13 +91,27 @@ class Cole:
         globally unique (a block's updates can never straddle a flush) and
         makes crash-recovery replay block-aligned.  L0 may transiently
         exceed ``B`` by one block's worth of updates; see DESIGN.md.
+
+        ``force_cascade`` overrides the capacity check (both ways); the
+        sharded engine uses it to coordinate cascades across shards so
+        their commit IO overlaps.  Passing a value derived from the put
+        stream keeps ``Hstate`` deterministic.
         """
-        if len(self.mem_writing) >= self.params.mem_capacity:
+        cascade = self.needs_cascade() if force_cascade is None else force_cascade
+        if cascade:
             if self.params.async_merge:
                 self._async_cascade()
             else:
                 self._sync_cascade()
         return self.root_digest()
+
+    def needs_cascade(self) -> bool:
+        """True when the next commit will flush L0 (capacity reached).
+
+        Shared with the sharded engine, whose commit fan-out parallelizes
+        exactly the commits this predicate marks as heavy.
+        """
+        return len(self.mem_writing) >= self.params.mem_capacity
 
     # =========================================================================
     # write path
@@ -112,15 +126,38 @@ class Cole:
         self.mem_writing.insert(key, value)
         self.puts_total += 1
 
+    def put_many(self, items: Iterable[Tuple[bytes, bytes]]) -> None:
+        """Batched :meth:`put`: insert a whole write set in one dispatch.
+
+        Equivalent to calling ``put`` per pair — same compound keys, same
+        overwrite-within-a-block semantics — with the per-call validation
+        and attribute traffic amortized across the batch.
+        """
+        addr_size = self.params.system.addr_size
+        blk = self.current_blk
+        insert = self.mem_writing.insert
+        count = 0
+        try:
+            for addr, value in items:
+                if len(addr) != addr_size:
+                    raise StorageError(f"address must be {addr_size} bytes")
+                insert(CompoundKey(addr=addr, blk=blk).to_int(), value)
+                count += 1
+        finally:
+            self.puts_total += count
+
     # -- synchronous merge (Algorithm 1) ---------------------------------------
 
     def _sync_cascade(self) -> None:
         entries = self.mem_writing.drain()
+        if not entries:  # forced cascade on an empty L0 is a no-op
+            return
         run = self._build_run(1, entries, len(entries))
         self._ensure_level(1).writing.add(run)
         self.mem_writing.clear()
         self._checkpoint_puts = self.puts_total
         self._checkpoint_blk = self.current_blk
+        obsolete: List[Run] = []
         index = 0
         while index < len(self.levels) and len(self.levels[index].writing) >= self.params.size_ratio:
             level = self.levels[index]
@@ -132,19 +169,28 @@ class Cole:
             )
             run = self._build_run(target, merged, total)
             self._ensure_level(target).writing.add(run)
-            level.writing.delete_all()
+            obsolete.extend(level.writing.take_all())
             index += 1
         self._save_manifest()
+        # Only now are the merged-away runs unreferenced by the manifest;
+        # deleting them earlier leaves a crash window where recovery loads
+        # a manifest naming files that no longer exist (Section 4.3).
+        for run in obsolete:
+            run.delete()
 
     # -- asynchronous merge (Algorithm 5) ----------------------------------------
 
     def _async_cascade(self) -> None:
         self._checkpoint_mem()
+        obsolete: List[Run] = []
         index = 0
         while index < len(self.levels) and len(self.levels[index].writing) >= self.params.size_ratio:
-            self._checkpoint_level(index)
+            obsolete.extend(self._checkpoint_level(index))
             index += 1
         self._save_manifest()
+        # Deferred until the manifest stopped naming them (crash safety).
+        for run in obsolete:
+            run.delete()
 
     def _checkpoint_mem(self) -> None:
         """The L0 commit checkpoint (Algorithm 5, i = 0)."""
@@ -159,30 +205,27 @@ class Cole:
         self.mem_merging.clear()
         self.mem_writing, self.mem_merging = self.mem_merging, self.mem_writing
         # The merging group now holds the full tree; flush it in background.
-        source = self.mem_merging
-        entries = source.drain()
+        entries = self.mem_merging.drain()
+        if not entries:  # forced cascade on an empty L0: nothing to flush
+            return
         name = self._next_run_name(1)
-        fill_position = self.puts_total
-        fill_blk = self.current_blk
-        pending = PendingMerge(thread=threading.Thread(target=lambda: None))
+        self.mem_pending = self.scheduler.spawn(
+            "flush",
+            name,
+            lambda: Run.build(
+                self.workspace, name, 1, iter(entries), len(entries), self.params
+            ),
+            level=1,
+            checkpoint_puts=self.puts_total,
+            checkpoint_blk=self.current_blk,
+        )
 
-        def flush() -> None:
-            try:
-                run = Run.build(
-                    self.workspace, name, 1, iter(entries), len(entries), self.params
-                )
-                pending.output = run
-                pending.checkpoint_puts = fill_position
-                pending.checkpoint_blk = fill_blk
-            except BaseException as exc:  # surfaced at the next checkpoint
-                pending.error = exc
+    def _checkpoint_level(self, index: int) -> List[Run]:
+        """The commit checkpoint of on-disk level ``index + 1``.
 
-        pending.thread = threading.Thread(target=flush, name=f"cole-flush-{name}")
-        self.mem_pending = pending
-        pending.thread.start()
-
-    def _checkpoint_level(self, index: int) -> None:
-        """The commit checkpoint of on-disk level ``index + 1``."""
+        Returns the merged-away runs; the caller deletes their files
+        after the manifest no longer names them.
+        """
         level = self.levels[index]
         pending = level.pending
         if pending is not None:
@@ -190,30 +233,29 @@ class Cole:
             assert pending.output is not None
             self._ensure_level(index + 2).writing.add(pending.output)
             level.pending = None
-        level.merging.delete_all()
+        obsolete = level.merging.take_all()
         level.switch_groups()
+        self._spawn_level_merge(index)
+        return obsolete
+
+    def _spawn_level_merge(self, index: int) -> None:
+        """Merge level ``index + 1``'s merging group in the background —
+        both the checkpoint merge (Algorithm 5 line 19) and the recovery
+        restart of an aborted merge (Section 4.3)."""
+        level = self.levels[index]
         sources = list(level.merging.runs)
         if not sources:
             return
         total = sum(source.num_entries for source in sources)
         name = self._next_run_name(index + 2)
-        pending = PendingMerge(thread=threading.Thread(target=lambda: None))
 
-        def merge() -> None:
-            try:
-                merged = merge_entry_streams(
-                    [source.value_file.iter_entries() for source in sources]
-                )
-                run = Run.build(
-                    self.workspace, name, index + 2, merged, total, self.params
-                )
-                pending.output = run
-            except BaseException as exc:
-                pending.error = exc
+        def build() -> Run:
+            merged = merge_entry_streams(
+                [source.value_file.iter_entries() for source in sources]
+            )
+            return Run.build(self.workspace, name, index + 2, merged, total, self.params)
 
-        pending.thread = threading.Thread(target=merge, name=f"cole-merge-{name}")
-        level.pending = pending
-        pending.thread.start()
+        level.pending = self.scheduler.spawn("merge", name, build, level=index + 2)
 
     # -- shared write helpers -------------------------------------------------------
 
@@ -269,31 +311,25 @@ class Cole:
 
     def get(self, addr: bytes) -> Optional[bytes]:
         """Latest value of ``addr`` or ``None`` (Algorithm 6)."""
-        key = CompoundKey.latest_of(addr).to_int()
-        for group in self._mem_groups():
-            found = group.floor_search(key)
-            if found is not None and addr_of_int(found[0], self._addr_size()) == addr:
-                return found[1]
-        for run in self._run_search_order():
-            if not run.may_contain(addr):
-                continue
-            found = run.floor_search(key)
-            if found is not None and addr_of_int(found[0][0], self._addr_size()) == addr:
-                return found[0][1]
-        return None
+        return self._lookup(CompoundKey.latest_of(addr).to_int(), addr)
 
     def get_at(self, addr: bytes, blk: int) -> Optional[bytes]:
         """Value of ``addr`` as of block ``blk`` (historical point lookup)."""
-        key = CompoundKey(addr=addr, blk=blk).to_int()
+        return self._lookup(CompoundKey(addr=addr, blk=blk).to_int(), addr)
+
+    def _lookup(self, key: int, addr: bytes) -> Optional[bytes]:
+        """Floor-search every structure in freshness order (Algorithm 6):
+        the newest entry for ``addr`` with compound key <= ``key``."""
+        addr_size = self._addr_size()
         for group in self._mem_groups():
             found = group.floor_search(key)
-            if found is not None and addr_of_int(found[0], self._addr_size()) == addr:
+            if found is not None and addr_of_int(found[0], addr_size) == addr:
                 return found[1]
         for run in self._run_search_order():
             if not run.may_contain(addr):
                 continue
             found = run.floor_search(key)
-            if found is not None and addr_of_int(found[0][0], self._addr_size()) == addr:
+            if found is not None and addr_of_int(found[0][0], addr_size) == addr:
                 return found[0][1]
         return None
 
@@ -409,8 +445,9 @@ class Cole:
         return rewind_to(self, target_blk)
 
     def close(self) -> None:
-        """Join merges and close all file handles."""
+        """Join merges, stop the merge workers, and close all file handles."""
         self.wait_for_merges()
+        self.scheduler.close()
         self.workspace.close()
 
     # =========================================================================
@@ -471,35 +508,17 @@ class Cole:
         if self.params.async_merge:
             for index, level in enumerate(self.levels):
                 if level.merging.runs:
-                    self._restart_merge(index)
-
-    def _restart_merge(self, index: int) -> None:
-        level = self.levels[index]
-        sources = list(level.merging.runs)
-        total = sum(source.num_entries for source in sources)
-        name = self._next_run_name(index + 2)
-        pending = PendingMerge(thread=threading.Thread(target=lambda: None))
-
-        def merge() -> None:
-            try:
-                merged = merge_entry_streams(
-                    [source.value_file.iter_entries() for source in sources]
-                )
-                run = Run.build(
-                    self.workspace, name, index + 2, merged, total, self.params
-                )
-                pending.output = run
-            except BaseException as exc:
-                pending.error = exc
-
-        pending.thread = threading.Thread(target=merge, name=f"cole-merge-{name}")
-        level.pending = pending
-        pending.thread.start()
+                    self._spawn_level_merge(index)
 
     @property
     def checkpoint_puts(self) -> int:
         """Number of puts durably contained in committed runs (replay point)."""
         return self._checkpoint_puts
+
+    @property
+    def checkpoint_blk(self) -> int:
+        """Highest block height durably contained in committed runs."""
+        return self._checkpoint_blk
 
     def _addr_size(self) -> int:
         return self.params.system.addr_size

@@ -24,6 +24,7 @@ class ValueFileWriter:
     def __init__(self, file: PagedFile, params: SystemParams) -> None:
         self._file = file
         self._params = params
+        self._pairs_per_page = params.pairs_per_page  # hoisted off the add loop
         self._buffer = bytearray()
         self._count = 0
         self._last_key: Optional[int] = None
@@ -40,7 +41,7 @@ class ValueFileWriter:
         self._buffer += _encode_pair(key, value, self._params)
         position = self._count
         self._count += 1
-        if self._count % self._params.pairs_per_page == 0:
+        if self._count % self._pairs_per_page == 0:
             self._file.append_page(bytes(self._buffer))
             self._buffer.clear()
         return position

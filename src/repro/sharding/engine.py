@@ -1,0 +1,231 @@
+"""Sharded COLE: hash-partitioned scale-out of the storage engine.
+
+One :class:`ShardedCole` owns a directory of ``num_shards`` fully
+independent :class:`~repro.core.storage.Cole` instances — each with its
+own workspace subdirectory, manifest, crash recovery, and background
+merges — and the address space hash-partitioned across them
+(``repro.sharding.router``).  Because every ``<addr, blk>`` compound key
+of one address lives in exactly one shard, reads, provenance scans, and
+proofs are single-shard operations; only the block lifecycle fans out.
+
+The composite state root extends Algorithm 5's determinism argument: each
+shard's ``Hstate`` is deterministic at its commit checkpoints, so the
+ordered hash over per-shard roots is too, regardless of merge timing *and*
+of commit scheduling across shards.  Commits fan out through a thread
+pool so the per-shard merge cascades — the blocking part of a commit —
+overlap in wall-clock time.
+
+Durability composes per shard (Section 4.3): each shard records its own
+checkpoint, recovery replays the transaction log from the *earliest*
+shard checkpoint, and :meth:`ShardedCole.replay_put` drops writes that a
+shard already holds durably.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, List, Optional, Tuple
+
+from repro.chain.backend import StorageBackend
+from repro.common.errors import StorageError
+from repro.common.hashing import Digest, hash_concat
+from repro.common.params import ShardParams
+from repro.core.storage import Cole
+from repro.diskio.iostats import IOStats
+from repro.sharding.proofs import ShardedProvenanceResult
+from repro.sharding.router import shard_of
+
+
+class ShardedCole(StorageBackend):
+    """N independent COLE shards behind the one-engine storage contract."""
+
+    def __init__(
+        self,
+        directory: str,
+        params: Optional[ShardParams] = None,
+        stats: Optional[IOStats] = None,
+    ) -> None:
+        """Open (creating or recovering) every shard under ``directory``."""
+        self.params = params if params is not None else ShardParams()
+        self.stats = stats if stats is not None else IOStats()
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.shards: List[Cole] = [
+            Cole(self.shard_directory(index), self.params.cole, stats=self.stats)
+            for index in range(self.params.num_shards)
+        ]
+        workers = self.params.commit_workers or self.params.num_shards
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="cole-shard"
+        )
+        self.current_blk = max(shard.current_blk for shard in self.shards)
+        # Hot addresses route repeatedly; memoizing addr -> shard index
+        # beats recomputing crc32 per put.  Bounded so an unbounded
+        # address space cannot grow it without limit.
+        self._route_cache: dict = {}
+        self._route_cache_limit = 1 << 20
+
+    def shard_directory(self, index: int) -> str:
+        """Workspace subdirectory of shard ``index``."""
+        return os.path.join(self.directory, f"shard-{index:02d}")
+
+    def _route(self, addr: bytes) -> int:
+        cache = self._route_cache
+        index = cache.get(addr)
+        if index is None:
+            index = shard_of(addr, len(self.shards))
+            if len(cache) >= self._route_cache_limit:
+                cache.clear()
+            cache[addr] = index
+        return index
+
+    def _shard_for(self, addr: bytes) -> Cole:
+        return self.shards[self._route(addr)]
+
+    # =========================================================================
+    # block lifecycle
+    # =========================================================================
+
+    def begin_block(self, height: int) -> None:
+        """Start block ``height`` on every shard."""
+        if height < self.current_blk:
+            raise StorageError("block heights must be non-decreasing (no forks, §4.3)")
+        self.current_blk = height
+        for shard in self.shards:
+            shard.begin_block(height)
+
+    def commit_block(self) -> Digest:
+        """Finalize the block on every shard; returns the composite root.
+
+        Cascades are **coordinated**: when any shard's L0 is at capacity,
+        every shard cascades on this block, through the thread pool — so
+        the per-shard flush builds and manifest fsyncs always overlap
+        instead of landing on whichever later blocks each shard's own
+        fill would have picked.  The trigger is a deterministic function
+        of the put stream, so the composite ``Hstate`` stays identical
+        across nodes.  Blocks where no shard is at capacity commit
+        inline: the pool round-trip costs more than a root recompute.
+        """
+        cascade = any(shard.needs_cascade() for shard in self.shards)
+        if cascade and len(self.shards) > 1:
+            roots = list(
+                self._pool.map(
+                    lambda shard: shard.commit_block(force_cascade=True), self.shards
+                )
+            )
+        else:
+            roots = [shard.commit_block(force_cascade=cascade) for shard in self.shards]
+        return hash_concat(roots)
+
+    # =========================================================================
+    # write path
+    # =========================================================================
+
+    def put(self, addr: bytes, value: bytes) -> None:
+        """Insert a state update on the owning shard."""
+        self._shard_for(addr).put(addr, value)
+
+    def put_many(self, items: Iterable[Tuple[bytes, bytes]]) -> None:
+        """Batched put: one routing pass, then one batch per touched shard."""
+        num_shards = len(self.shards)
+        if num_shards == 1:
+            self.shards[0].put_many(items)
+            return
+        route = self._route
+        buckets: List[List[Tuple[bytes, bytes]]] = [[] for _ in range(num_shards)]
+        for item in items:
+            buckets[route(item[0])].append(item)
+        for shard, bucket in zip(self.shards, buckets):
+            if bucket:
+                shard.put_many(bucket)
+
+    def replay_put(self, addr: bytes, value: bytes) -> bool:
+        """A crash-recovery replay write (Section 4.3, per shard).
+
+        Shards checkpoint independently, so the log is replayed from the
+        earliest shard checkpoint (:attr:`checkpoint_blk`); writes whose
+        block a shard already holds durably are dropped here.  Returns
+        True when the put was applied.
+        """
+        shard = self._shard_for(addr)
+        if self.current_blk <= shard.checkpoint_blk:
+            return False
+        shard.put(addr, value)
+        return True
+
+    # =========================================================================
+    # read path
+    # =========================================================================
+
+    def get(self, addr: bytes) -> Optional[bytes]:
+        """Latest value of ``addr`` or ``None`` (single-shard lookup)."""
+        return self._shard_for(addr).get(addr)
+
+    def get_at(self, addr: bytes, blk: int) -> Optional[bytes]:
+        """Value of ``addr`` as of block ``blk``."""
+        return self._shard_for(addr).get_at(addr, blk)
+
+    def prov_query(self, addr: bytes, blk_low: int, blk_high: int) -> ShardedProvenanceResult:
+        """Historical values of ``addr`` with a composite-root-anchored proof."""
+        index = shard_of(addr, len(self.shards))
+        inner = self.shards[index].prov_query(addr, blk_low, blk_high)
+        return ShardedProvenanceResult(
+            shard_index=index, shard_roots=self.shard_roots(), result=inner
+        )
+
+    # =========================================================================
+    # composite root (Hstate)
+    # =========================================================================
+
+    def shard_roots(self) -> List[Digest]:
+        """Ordered per-shard ``Hstate`` digests (the composite preimage)."""
+        return [shard.root_digest() for shard in self.shards]
+
+    def root_digest(self) -> Digest:
+        """Composite ``Hstate``: the hash over the ordered shard roots."""
+        return hash_concat(self.shard_roots())
+
+    # =========================================================================
+    # accounting / lifecycle
+    # =========================================================================
+
+    @property
+    def puts_total(self) -> int:
+        """Total puts accepted across all shards."""
+        return sum(shard.puts_total for shard in self.shards)
+
+    @property
+    def checkpoint_blk(self) -> int:
+        """Earliest shard checkpoint: replay the log from after this height."""
+        return min(shard.checkpoint_blk for shard in self.shards)
+
+    def storage_bytes(self) -> int:
+        """Total on-disk footprint across all shards."""
+        return sum(shard.storage_bytes() for shard in self.shards)
+
+    def num_disk_levels(self) -> int:
+        """Deepest instantiated on-disk level across shards."""
+        return max(shard.num_disk_levels() for shard in self.shards)
+
+    def wait_for_merges(self) -> None:
+        """Join every shard's background merges (teardown, clean close)."""
+        for shard in self.shards:
+            shard.wait_for_merges()
+
+    def rewind_to(self, target_blk: int) -> int:
+        """Discard every version newer than ``target_blk`` on every shard."""
+        if len(self.shards) == 1:
+            dropped = self.shards[0].rewind_to(target_blk)
+        else:
+            dropped = sum(
+                self._pool.map(lambda shard: shard.rewind_to(target_blk), self.shards)
+            )
+        self.current_blk = min(self.current_blk, target_blk)
+        return dropped
+
+    def close(self) -> None:
+        """Join merges, stop the commit pool, and close every shard."""
+        self._pool.shutdown(wait=True)
+        for shard in self.shards:
+            shard.close()

@@ -1,0 +1,48 @@
+"""Provenance results in a sharded deployment.
+
+A provenance query touches exactly one shard (the compound keys of one
+address all live there), so the proof is that shard's ordinary
+:class:`~repro.core.proofs.ProvenanceProof` — plus the context a verifier
+needs to anchor it in the *composite* state root: which shard answered,
+and the full ordered list of per-shard roots whose hash is ``Hstate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.common.hashing import Digest
+from repro.core.proofs import ProvenanceProof, ProvenanceResult
+
+
+@dataclass
+class ShardedProvenanceResult:
+    """One shard's provenance answer plus the composite-root context.
+
+    Mirrors :class:`~repro.core.proofs.ProvenanceResult`'s surface
+    (``versions`` / ``boundary_version`` / ``proof``) so callers written
+    against the unsharded engine keep working unchanged.
+    """
+
+    shard_index: int
+    shard_roots: List[Digest]  # ordered per-shard roots; Hstate = H(cat)
+    result: ProvenanceResult
+
+    @property
+    def versions(self) -> List[Tuple[int, bytes]]:
+        return self.result.versions
+
+    @property
+    def boundary_version(self) -> Optional[Tuple[int, bytes]]:
+        return self.result.boundary_version
+
+    @property
+    def proof(self) -> ProvenanceProof:
+        return self.result.proof
+
+    def proof_size_bytes(self) -> int:
+        """Total proof size: the shard proof plus one digest per shard."""
+        return self.result.proof.size_bytes() + sum(
+            len(root) for root in self.shard_roots
+        )

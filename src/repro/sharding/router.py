@@ -1,0 +1,24 @@
+"""Address -> shard routing.
+
+The route must be deterministic across processes, nodes, and restarts —
+the composite ``Hstate`` hangs on every node partitioning the address
+space identically — so the router avoids Python's salted ``hash``.
+CRC32 over the address bytes is cheap enough for the per-put hot path and
+spreads well: state addresses are either hash-derived
+(:meth:`repro.chain.contracts.base.ExecutionContext.address`) or uniform
+random, and CRC32 keeps even adversarially structured addresses from all
+landing on one shard's doorstep.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+
+def shard_of(addr: bytes, num_shards: int) -> int:
+    """The index of the shard owning ``addr`` (0-based, stable)."""
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    if num_shards == 1:
+        return 0
+    return zlib.crc32(addr) % num_shards

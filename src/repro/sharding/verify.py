@@ -1,0 +1,46 @@
+"""Client-side verification of sharded provenance results.
+
+The verifier holds only the composite ``Hstate`` from a block header.
+Soundness chains three checks: (1) the claimed per-shard root list hashes
+to the composite root, so the server cannot invent shard roots; (2) the
+queried address routes to the claimed shard under the public routing
+function, so the server cannot answer from a shard that misses versions;
+(3) the inner proof verifies against that shard's root exactly as in the
+unsharded engine (Section 6.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.common.errors import VerificationError
+from repro.common.hashing import Digest, hash_concat
+from repro.core.verify import verify_provenance
+from repro.sharding.proofs import ShardedProvenanceResult
+from repro.sharding.router import shard_of
+
+
+def verify_sharded_provenance(
+    result: ShardedProvenanceResult,
+    expected_state_root: Digest,
+    addr_size: int = 32,
+    key_width: Optional[int] = None,
+) -> List[Tuple[int, bytes]]:
+    """VerifyProv against a composite (sharded) state root.
+
+    Returns the verified version list; raises
+    :class:`VerificationError` on any mismatch.
+    """
+    roots = list(result.shard_roots)
+    if not roots:
+        raise VerificationError("sharded proof discloses no shard roots")
+    if hash_concat(roots) != expected_state_root:
+        raise VerificationError("shard roots do not hash to the composite Hstate")
+    index = result.shard_index
+    if not 0 <= index < len(roots):
+        raise VerificationError("shard index out of range")
+    if shard_of(result.result.proof.addr, len(roots)) != index:
+        raise VerificationError("address does not route to the claimed shard")
+    return verify_provenance(
+        result.result, roots[index], addr_size=addr_size, key_width=key_width
+    )

@@ -4,6 +4,7 @@ import random
 
 import pytest
 
+from repro.common.errors import StorageError
 from repro.common.params import ColeParams, SystemParams
 from repro.core import Cole
 
@@ -122,7 +123,9 @@ def test_merge_thread_errors_surface(tmp_path):
         pytest.skip("no pending merge at this scale")
     pending.wait()
     pending.error = RuntimeError("injected merge failure")
-    with pytest.raises(RuntimeError):
+    with pytest.raises(StorageError) as excinfo:
         pending.wait()
+    assert pending.name in str(excinfo.value)
+    assert isinstance(excinfo.value.__cause__, RuntimeError)
     pending.error = None  # allow clean close
     cole.close()

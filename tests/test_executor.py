@@ -110,6 +110,67 @@ def test_block_chain_links(cole, context):
         assert current.header.prev_hash == previous.header.digest()
 
 
+def test_batched_writes_equal_unbatched(tmp_path, context):
+    """The per-transaction put_many batch is byte-equivalent to direct
+    puts: same state root, same visible values."""
+    params = ColeParams(
+        system=SystemParams(addr_size=20, value_size=32), mem_capacity=32
+    )
+    batched_engine = Cole(str(tmp_path / "b"), params)
+    direct_engine = Cole(str(tmp_path / "d"), params)
+    txs = [
+        Transaction("smallbank", "create_account", (f"c{i}", 100, 50)) for i in range(8)
+    ] + [
+        Transaction("smallbank", "send_payment", (f"c{i}", f"c{(i + 1) % 8}", 5))
+        for i in range(30)
+    ]
+    try:
+        batched = BlockExecutor(batched_engine, context, txs_per_block=7)
+        direct = BlockExecutor(direct_engine, context, txs_per_block=7, batch_writes=False)
+        batched.run(txs)
+        direct.run(txs)
+        assert batched_engine.root_digest() == direct_engine.root_digest()
+        assert batched_engine.puts_total == direct_engine.puts_total
+    finally:
+        batched_engine.close()
+        direct_engine.close()
+
+
+def test_tx_write_batch_reads_its_own_writes(cole, context):
+    """Within one transaction, reads observe the buffered writes."""
+    from repro.chain.executor import _TxWriteBatch
+
+    cole.begin_block(1)
+    cole.put(b"\x0a" * 20, b"\x01" * 32)
+    batch = _TxWriteBatch(cole)
+    assert batch.get(b"\x0a" * 20) == b"\x01" * 32  # falls through to engine
+    batch.put(b"\x0a" * 20, b"\x02" * 32)
+    batch.put(b"\x0b" * 20, b"\x03" * 32)
+    batch.put(b"\x0a" * 20, b"\x04" * 32)
+    assert batch.get(b"\x0a" * 20) == b"\x04" * 32  # newest buffered write wins
+    assert batch.get(b"\x0b" * 20) == b"\x03" * 32
+    assert cole.get(b"\x0a" * 20) == b"\x01" * 32  # nothing flushed yet
+    cole.put_many(batch.writes)
+    cole.commit_block()
+    assert cole.get(b"\x0a" * 20) == b"\x04" * 32  # duplicate keys: last wins
+    assert cole.get(b"\x0b" * 20) == b"\x03" * 32
+
+
+def test_default_put_many_loops_put(tmp_path):
+    """Backends without a native put_many inherit the per-put loop."""
+    from repro.baselines import MPTStorage
+
+    engine = MPTStorage(str(tmp_path / "mpt"), memtable_capacity=64)
+    try:
+        engine.begin_block(1)
+        engine.put_many([(b"\x01" * 32, b"\x02" * 40), (b"\x03" * 32, b"\x04" * 40)])
+        engine.commit_block()
+        assert engine.get(b"\x01" * 32) == b"\x02" * 40
+        assert engine.get(b"\x03" * 32) == b"\x04" * 40
+    finally:
+        engine.close()
+
+
 def test_block_header_digest_depends_on_state_root():
     txs = make_txs(2)
     a = Block.build(1, EMPTY_DIGEST, txs, state_root=b"\x01" * 32)

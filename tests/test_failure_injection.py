@@ -149,6 +149,51 @@ def test_bloom_tamper_changes_commitment(tmp_path):
     cole.close()
 
 
+def test_background_merge_failure_names_run_and_chains_cause(tmp_path, monkeypatch):
+    """A crashed merge thread surfaces at the next checkpoint as a
+    StorageError naming the run being built, chained to the root cause."""
+    from repro.core.run import Run
+
+    directory = str(tmp_path / "bg")
+    cole = Cole(directory, make_params(async_merge=True))
+    rng = random.Random(19)
+    pool = [rng.randbytes(20) for _ in range(20)]
+
+    def run_until(predicate, start_blk, max_blocks=200):
+        for blk in range(start_blk, start_blk + max_blocks):
+            cole.begin_block(blk)
+            for _ in range(5):
+                cole.put(rng.choice(pool), rng.randbytes(32))
+            cole.commit_block()
+            if predicate():
+                return blk + 1
+        raise AssertionError("workload never reached the wanted state")
+
+    next_blk = run_until(lambda: cole.mem_pending is not None, 1)
+    cole.wait_for_merges()
+
+    original_build = Run.build
+    monkeypatch.setattr(
+        Run, "build", classmethod(lambda cls, *a, **k: (_ for _ in ()).throw(OSError("disk full")))
+    )
+    # Drive commits until a checkpoint waits on the poisoned background
+    # build and surfaces it.
+    with pytest.raises(StorageError) as excinfo:
+        run_until(lambda: False, next_blk)
+    message = str(excinfo.value)
+    assert "L" in message and "failed" in message  # names the run
+    assert isinstance(excinfo.value.__cause__, OSError)
+
+    # The engine can quiesce once the fault clears.
+    monkeypatch.setattr(Run, "build", original_build)
+    if cole.mem_pending is not None and cole.mem_pending.error is not None:
+        cole.mem_pending = None
+    for level in cole.levels:
+        if level.pending is not None and level.pending.error is not None:
+            level.pending = None
+    cole.close()
+
+
 def test_recovery_after_partial_run_files(tmp_path):
     directory = str(tmp_path / "p")
     cole, pool = build_chain(directory, blocks=40)

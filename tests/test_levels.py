@@ -4,9 +4,10 @@ import threading
 
 import pytest
 
+from repro.common.errors import StorageError
 from repro.common.params import ColeParams, SystemParams
 from repro.core.compound import CompoundKey
-from repro.core.disklevel import DiskGroup, DiskLevel, PendingMerge
+from repro.core.disklevel import DiskGroup, DiskLevel
 from repro.core.memlevel import MemGroup
 from repro.core.run import Run
 from repro.diskio.workspace import Workspace
@@ -88,26 +89,52 @@ def test_disk_level_search_order(tmp_path, params):
 
 
 def test_pending_merge_propagates_error():
+    from repro.core.merge import MergeScheduler
+
     def boom():
         raise RuntimeError("merge failed")
 
-    pending = PendingMerge(thread=threading.Thread(target=lambda: None))
-
-    def target():
-        try:
-            boom()
-        except BaseException as exc:
-            pending.error = exc
-
-    pending.thread = threading.Thread(target=target)
-    pending.thread.start()
-    with pytest.raises(RuntimeError):
+    scheduler = MergeScheduler()
+    pending = scheduler.spawn("merge", "L2_00000007", boom, level=2)
+    with pytest.raises(StorageError) as excinfo:
         pending.wait()
+    # The context names the run and chains the original failure.
+    assert "L2_00000007" in str(excinfo.value)
+    assert "level 2" in str(excinfo.value)
+    assert isinstance(excinfo.value.__cause__, RuntimeError)
+    pending.error = None
+    scheduler.close()
 
 
-def test_pending_merge_wait_joins_thread():
+def test_pending_merge_wait_joins_task():
+    from repro.core.merge import MergeScheduler
+
     seen = []
-    pending = PendingMerge(thread=threading.Thread(target=lambda: seen.append(1)))
-    pending.thread.start()
+    scheduler = MergeScheduler()
+    pending = scheduler.spawn("flush", "L1_00000001", lambda: seen.append(1))
     pending.wait()
     assert seen == [1]
+    scheduler.close()
+
+
+def test_merge_scheduler_runs_concurrent_tasks_without_queueing():
+    """Back-to-back spawns in one cascade each get their own worker: a
+    task never waits behind an unrelated earlier merge."""
+    from repro.core.merge import MergeScheduler
+
+    release = threading.Event()
+    started = threading.Event()
+
+    def blocker():
+        started.set()
+        release.wait(timeout=5)
+
+    scheduler = MergeScheduler()
+    first = scheduler.spawn("merge", "L2_00000001", blocker, level=2)
+    assert started.wait(timeout=5)
+    second = scheduler.spawn("merge", "L3_00000002", lambda: "done", level=3)
+    second.wait()  # completes while the first task is still blocked
+    assert second.output == "done"
+    release.set()
+    first.wait()
+    scheduler.close()
