@@ -8,7 +8,7 @@ tail by 1-2 orders of magnitude while keeping a comparable median.
 from conftest import run_once
 
 from repro.bench.experiments import run_latency
-from repro.bench.report import format_seconds, format_table
+from repro.bench.report import format_table, latency_columns
 
 HEIGHTS = (300, 1000)
 
@@ -27,13 +27,8 @@ def test_fig12_latency_smallbank(benchmark, series):
         format_table(
             ["engine", "blocks", "median", "p99", "tail"],
             [
-                [
-                    row["engine"],
-                    row["blocks"],
-                    format_seconds(row["median_s"]),
-                    format_seconds(row["p99_s"]),
-                    format_seconds(row["tail_s"]),
-                ]
+                [row["engine"], row["blocks"]]
+                + latency_columns(row, ("median_s", "p99_s", "tail_s"))
                 for row in rows
             ],
         )

@@ -7,7 +7,7 @@ U-shaped (best near T = 4-6); median latency creeps up with T.
 from conftest import run_once
 
 from repro.bench.experiments import run_size_ratio
-from repro.bench.report import format_seconds, format_table
+from repro.bench.report import format_rate, format_table, latency_columns
 
 RATIOS = (2, 4, 6, 8, 10, 12)
 
@@ -25,13 +25,8 @@ def test_fig13_size_ratio(benchmark, series):
         format_table(
             ["engine", "T", "tps", "median", "tail"],
             [
-                [
-                    row["engine"],
-                    row["size_ratio"],
-                    f"{row['tps']:.0f}",
-                    format_seconds(row["median_s"]),
-                    format_seconds(row["tail_s"]),
-                ]
+                [row["engine"], row["size_ratio"], format_rate(row["tps"], 1.0)]
+                + latency_columns(row, ("median_s", "tail_s"))
                 for row in rows
             ],
         )

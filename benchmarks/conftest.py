@@ -14,7 +14,6 @@ is the printed series, not the timer.
 from __future__ import annotations
 
 import builtins
-import sys
 
 import pytest
 

@@ -9,7 +9,6 @@ of Section 2.
 Run:  python examples/quickstart.py
 """
 
-import os
 import shutil
 import tempfile
 

@@ -18,7 +18,7 @@ the baseline exists to demonstrate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.chain.backend import StorageBackend

@@ -410,6 +410,84 @@ def run_sharding_scalability(
 
 
 # =============================================================================
+# Figure 17 (extension): service throughput vs concurrent clients
+# =============================================================================
+
+def run_service_throughput(
+    client_counts: Sequence[int] = (1, 8, 32),
+    ops_per_client: int = 200,
+    num_keys: int = 1024,
+    read_fraction: float = 0.5,
+    num_shards: int = 2,
+    mem_capacity: int = 512,
+    batch_puts: int = 256,
+    batch_delay_s: float = 0.004,
+    seed: int = 7,
+) -> List[Row]:
+    """Figure 17 (new): the serving layer under concurrent load.
+
+    For each client count a fresh sharded engine is stood up behind a
+    :class:`~repro.server.ColeServer` (on its own event-loop thread) and
+    driven closed-loop with mixed YCSB read/write traffic over real TCP
+    sockets.  Reported per point: completed ops/s, p50/p99 latency, the
+    read-cache hit rate, and the group-commit batch size — the knobs the
+    batching and caching design trades against each other.
+    """
+    from repro.bench.harness import BENCH_SYSTEM
+    from repro.bench.report import percentile
+    from repro.server import (
+        LoadgenParams,
+        ServerConfig,
+        ServerThread,
+        run_loadgen_sync,
+    )
+
+    rows: List[Row] = []
+    for clients in client_counts:
+        directory = fresh_dir()
+        backend = make_engine(
+            "cole-shard",
+            directory,
+            cole_overrides={"num_shards": num_shards, "mem_capacity": mem_capacity},
+        )
+        try:
+            config = ServerConfig(
+                batch_max_puts=batch_puts, batch_max_delay=batch_delay_s
+            )
+            with ServerThread(backend, config=config) as thread:
+                params = LoadgenParams(
+                    clients=clients,
+                    ops_per_client=ops_per_client,
+                    read_fraction=read_fraction,
+                    num_keys=num_keys,
+                    addr_size=BENCH_SYSTEM.addr_size,
+                    value_size=BENCH_SYSTEM.value_size,
+                    seed=seed,
+                )
+                report = run_loadgen_sync(
+                    thread.server.host, thread.server.port, params
+                )
+            backend.wait_for_merges()
+            batcher = report.server_stats.get("batcher", {})
+            rows.append(
+                {
+                    "clients": clients,
+                    "ops": report.ops,
+                    "errors": report.errors,
+                    "ops_per_s": report.throughput,
+                    "p50_s": percentile(report.latencies, 0.5),
+                    "p99_s": percentile(report.latencies, 0.99),
+                    "cache_hit_rate": report.cache_hit_rate,
+                    "avg_batch": batcher.get("avg_batch", 0.0),
+                    "commits": batcher.get("commits", 0),
+                }
+            )
+        finally:
+            cleanup(backend, directory)
+    return rows
+
+
+# =============================================================================
 # Table 1: empirical complexity comparison
 # =============================================================================
 

@@ -1,8 +1,13 @@
-"""Plain-text reporting of experiment series (the figures' data)."""
+"""Plain-text reporting of experiment series (the figures' data).
+
+Shared by the experiment drivers, the figure benchmarks, the CLI, and
+the serving layer's load generator, so every surface prints rates,
+latencies, and percentile columns the same way.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Mapping, Sequence
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
@@ -36,3 +41,40 @@ def format_seconds(seconds: float) -> str:
     if seconds < 1.0:
         return f"{seconds * 1e3:.2f}ms"
     return f"{seconds:.2f}s"
+
+
+def format_rate(count: float, seconds: float) -> str:
+    """Human-readable event rate, e.g. ``"12.3k/s"``.
+
+    ``seconds == 0`` (a run too fast to time) formats as ``"inf/s"``.
+    """
+    if seconds <= 0:
+        return "inf/s"
+    rate = count / seconds
+    for scale, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if rate >= scale:
+            return f"{rate / scale:.1f}{suffix}/s"
+    return f"{rate:.0f}/s"
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Value at ``fraction`` (0..1) of the sorted sample; 0.0 when empty.
+
+    The one percentile implementation: ``ExecutionMetrics`` and the load
+    generator both report through it, so their numbers agree by
+    construction.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(int(fraction * len(ordered)), len(ordered) - 1)
+    return ordered[index]
+
+
+def latency_columns(row: Mapping[str, float], keys: Sequence[str]) -> List[str]:
+    """Format a row's latency fields (seconds) as table cells, in order.
+
+    The percentile-column helper of the figure benchmarks: fig12/fig13
+    print ``median / p99 / tail`` columns through this one path.
+    """
+    return [format_seconds(float(row[key])) for key in keys]

@@ -8,7 +8,7 @@ against the storage engine.
 
 from __future__ import annotations
 
-from repro.chain.contracts.base import Contract, ExecutionContext
+from repro.chain.contracts.base import Contract
 
 
 class SmallBankContract(Contract):

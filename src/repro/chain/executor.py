@@ -43,11 +43,10 @@ class ExecutionMetrics:
 
     def latency_percentile(self, fraction: float) -> float:
         """Latency at ``fraction`` (0..1), in seconds."""
-        if not self.latencies:
-            return 0.0
-        ordered = sorted(self.latencies)
-        index = min(int(fraction * len(ordered)), len(ordered) - 1)
-        return ordered[index]
+        # Deferred import: repro.bench's package init imports this module.
+        from repro.bench.report import percentile
+
+        return percentile(self.latencies, fraction)
 
     @property
     def tail_latency(self) -> float:

@@ -1,10 +1,12 @@
-"""Command-line interface: inspect workspaces and run experiments.
+"""Command-line interface: inspect workspaces, run experiments, serve.
 
 Usage (after ``pip install -e .``)::
 
     python -m repro.cli info /path/to/cole-workspace
     python -m repro.cli experiment fig9 [--heights 30,100] [--engines mpt,cole]
     python -m repro.cli experiment table1
+    python -m repro.cli serve /path/to/workspace --port 7407 [--shards 4]
+    python -m repro.cli loadgen --port 7407 --clients 32 --ops 200
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ _EXPERIMENTS = {
     "fig14": ("run_provenance_range", {}),
     "fig15": ("run_mht_fanout", {}),
     "fig16": ("run_sharding_scalability", {}),
+    "fig17": ("run_service_throughput", {}),
     "table1": ("run_complexity_table", {}),
     "index-share": ("run_index_share", {}),
 }
@@ -97,6 +100,65 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a COLE workspace over TCP until interrupted."""
+    import asyncio
+
+    from repro.common.params import ColeParams, ShardParams
+    from repro.core import Cole
+    from repro.server import ColeServer, ServerConfig
+    from repro.sharding import ShardedCole
+
+    cole_params = ColeParams(async_merge=True, mem_capacity=args.mem_capacity)
+    if args.shards > 1:
+        engine = ShardedCole(
+            args.workspace, ShardParams(cole=cole_params, num_shards=args.shards)
+        )
+    else:
+        engine = Cole(args.workspace, cole_params)
+    config = ServerConfig(
+        batch_max_puts=args.batch_puts,
+        batch_max_delay=args.batch_delay_ms / 1000.0,
+        cache_capacity=args.cache_capacity,
+    )
+    server = ColeServer(engine, host=args.host, port=args.port, config=config)
+
+    async def serve() -> None:
+        host, port = await server.start()
+        shards = f", {args.shards} shards" if args.shards > 1 else ""
+        print(f"serving {args.workspace} on {host}:{port}{shards} (Ctrl-C stops)")
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("\nstopped")
+    finally:
+        engine.close()
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive a running server with concurrent YCSB-style clients."""
+    from repro.server import LoadgenParams, format_report, run_loadgen_sync
+
+    params = LoadgenParams(
+        clients=args.clients,
+        ops_per_client=args.ops,
+        read_fraction=args.read_fraction,
+        num_keys=args.num_keys,
+        mode=args.mode,
+        rate=args.rate,
+        seed=args.seed,
+    )
+    report = run_loadgen_sync(args.host, args.port, params)
+    print(format_report(report))
+    return 1 if report.errors else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -116,6 +178,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", help="comma-separated shard counts (fig16 sharding sweep)"
     )
     experiment.set_defaults(func=cmd_experiment)
+
+    serve = sub.add_parser("serve", help="serve a workspace over TCP")
+    serve.add_argument("workspace", help="engine workspace directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7407)
+    serve.add_argument(
+        "--shards", type=int, default=1, help="shard count (>1 serves a ShardedCole)"
+    )
+    serve.add_argument(
+        "--mem-capacity", type=int, default=512, help="per-shard L0 capacity B"
+    )
+    serve.add_argument(
+        "--batch-puts", type=int, default=512, help="group-commit size threshold"
+    )
+    serve.add_argument(
+        "--batch-delay-ms",
+        type=float,
+        default=10.0,
+        help="group-commit time threshold (milliseconds)",
+    )
+    serve.add_argument("--cache-capacity", type=int, default=8192)
+    serve.set_defaults(func=cmd_serve)
+
+    loadgen = sub.add_parser("loadgen", help="drive a running server with load")
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=7407)
+    loadgen.add_argument("--clients", type=int, default=32)
+    loadgen.add_argument("--ops", type=int, default=200, help="ops per client")
+    loadgen.add_argument("--read-fraction", type=float, default=0.5)
+    loadgen.add_argument("--num-keys", type=int, default=1024)
+    loadgen.add_argument(
+        "--mode", choices=("closed", "open"), default="closed", help="loop discipline"
+    )
+    loadgen.add_argument(
+        "--rate", type=float, default=2000.0, help="total ops/s (open loop)"
+    )
+    loadgen.add_argument("--seed", type=int, default=7)
+    loadgen.set_defaults(func=cmd_loadgen)
     return parser
 
 

@@ -19,6 +19,7 @@ from repro.common.hashing import (
     hash_concat,
     hash_pair,
 )
+from repro.common.gate import CommitGate
 from repro.common.params import ColeParams, SystemParams
 from repro.common.codec import (
     decode_u32,
@@ -44,6 +45,7 @@ __all__ = [
     "hash_concat",
     "hash_pair",
     "ColeParams",
+    "CommitGate",
     "SystemParams",
     "encode_u32",
     "decode_u32",

@@ -1,0 +1,92 @@
+"""A reader/writer gate for concurrent queries against one engine.
+
+The serving layer (``repro.server``) and the concurrent-reader tests run
+``get`` / ``get_at`` / provenance queries from many threads while blocks
+commit and background merges cascade.  Page-level IO is already atomic
+(``PagedFile`` holds a per-file lock), but the *structural* state of an
+engine is not: commit checkpoints swap L0 groups, switch level group
+roles, attach merge outputs, and delete merged-away run files.  A reader
+walking those structures mid-checkpoint could follow a freed run or a
+half-swapped group.
+
+:class:`CommitGate` closes that window with the classic shared/exclusive
+discipline:
+
+* queries hold the gate **shared** — any number run concurrently;
+* structural mutation (puts into L0, commit checkpoints, rewind) holds
+  it **exclusive**.
+
+Writers are preferred: a waiting writer blocks new readers, so a steady
+query stream cannot starve the commit path.  The gate is not reentrant —
+internal engine helpers stay ungated and only the public entry points
+acquire it (exactly once per call).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class CommitGate:
+    """Shared/exclusive gate between queries and commit checkpoints."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition(threading.Lock())
+        self._active_readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # -- shared (queries) -----------------------------------------------------
+
+    def acquire_shared(self) -> None:
+        """Enter as a reader; blocks while a writer is active or waiting."""
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._active_readers += 1
+
+    def release_shared(self) -> None:
+        """Leave the reader side; wakes a waiting writer when last out."""
+        with self._cond:
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._cond.notify_all()
+
+    @contextmanager
+    def shared(self) -> Iterator[None]:
+        """``with gate.shared():`` — hold the gate as a reader."""
+        self.acquire_shared()
+        try:
+            yield
+        finally:
+            self.release_shared()
+
+    # -- exclusive (structural mutation) --------------------------------------
+
+    def acquire_exclusive(self) -> None:
+        """Enter as the sole writer; blocks until all readers drain."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._active_readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_exclusive(self) -> None:
+        """Leave the writer side; wakes every waiter."""
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def exclusive(self) -> Iterator[None]:
+        """``with gate.exclusive():`` — hold the gate as the writer."""
+        self.acquire_exclusive()
+        try:
+            yield
+        finally:
+            self.release_exclusive()

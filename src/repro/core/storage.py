@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.common.errors import StorageError
+from repro.common.gate import CommitGate
 from repro.common.hashing import Digest, hash_concat
 from repro.common.params import ColeParams
 from repro.core.compound import CompoundKey, MAX_BLK, addr_of_int, blk_of_int
@@ -64,6 +65,10 @@ class Cole:
         self.mem_merging = MemGroup(key_width)
         self.mem_pending: Optional[PendingMerge] = None
         self.scheduler = MergeScheduler()
+        # Queries hold this shared; puts, commit checkpoints, and rewind
+        # hold it exclusive, so concurrent readers never observe a
+        # half-switched group or a deleted run (see repro.common.gate).
+        self.gate = CommitGate()
         self.levels: List[DiskLevel] = []  # levels[i] is on-disk level i+1
         self.current_blk = 0
         self.puts_total = 0
@@ -98,12 +103,13 @@ class Cole:
         stream keeps ``Hstate`` deterministic.
         """
         cascade = self.needs_cascade() if force_cascade is None else force_cascade
-        if cascade:
-            if self.params.async_merge:
-                self._async_cascade()
-            else:
-                self._sync_cascade()
-        return self.root_digest()
+        with self.gate.exclusive():
+            if cascade:
+                if self.params.async_merge:
+                    self._async_cascade()
+                else:
+                    self._sync_cascade()
+            return self._root_digest()
 
     def needs_cascade(self) -> bool:
         """True when the next commit will flush L0 (capacity reached).
@@ -123,8 +129,9 @@ class Cole:
         if len(addr) != system.addr_size:
             raise StorageError(f"address must be {system.addr_size} bytes")
         key = CompoundKey(addr=addr, blk=self.current_blk).to_int()
-        self.mem_writing.insert(key, value)
-        self.puts_total += 1
+        with self.gate.exclusive():
+            self.mem_writing.insert(key, value)
+            self.puts_total += 1
 
     def put_many(self, items: Iterable[Tuple[bytes, bytes]]) -> None:
         """Batched :meth:`put`: insert a whole write set in one dispatch.
@@ -135,16 +142,17 @@ class Cole:
         """
         addr_size = self.params.system.addr_size
         blk = self.current_blk
-        insert = self.mem_writing.insert
         count = 0
-        try:
-            for addr, value in items:
-                if len(addr) != addr_size:
-                    raise StorageError(f"address must be {addr_size} bytes")
-                insert(CompoundKey(addr=addr, blk=blk).to_int(), value)
-                count += 1
-        finally:
-            self.puts_total += count
+        with self.gate.exclusive():
+            insert = self.mem_writing.insert
+            try:
+                for addr, value in items:
+                    if len(addr) != addr_size:
+                        raise StorageError(f"address must be {addr_size} bytes")
+                    insert(CompoundKey(addr=addr, blk=blk).to_int(), value)
+                    count += 1
+            finally:
+                self.puts_total += count
 
     # -- synchronous merge (Algorithm 1) ---------------------------------------
 
@@ -291,6 +299,10 @@ class Cole:
 
     def root_hash_list(self) -> List[Tuple[str, Digest]]:
         """The ordered (label, digest) list that ``Hstate`` hashes (§3.2)."""
+        with self.gate.shared():
+            return self._root_hash_list()
+
+    def _root_hash_list(self) -> List[Tuple[str, Digest]]:
         entries: List[Tuple[str, Digest]] = [("mem:w", self.mem_writing.root())]
         if self.params.async_merge:
             entries.append(("mem:m", self.mem_merging.root()))
@@ -303,7 +315,11 @@ class Cole:
 
     def root_digest(self) -> Digest:
         """``Hstate``: the digest over ``root_hash_list``."""
-        return hash_concat([digest for _label, digest in self.root_hash_list()])
+        with self.gate.shared():
+            return self._root_digest()
+
+    def _root_digest(self) -> Digest:
+        return hash_concat([digest for _label, digest in self._root_hash_list()])
 
     # =========================================================================
     # read path
@@ -311,11 +327,13 @@ class Cole:
 
     def get(self, addr: bytes) -> Optional[bytes]:
         """Latest value of ``addr`` or ``None`` (Algorithm 6)."""
-        return self._lookup(CompoundKey.latest_of(addr).to_int(), addr)
+        with self.gate.shared():
+            return self._lookup(CompoundKey.latest_of(addr).to_int(), addr)
 
     def get_at(self, addr: bytes, blk: int) -> Optional[bytes]:
         """Value of ``addr`` as of block ``blk`` (historical point lookup)."""
-        return self._lookup(CompoundKey(addr=addr, blk=blk).to_int(), addr)
+        with self.gate.shared():
+            return self._lookup(CompoundKey(addr=addr, blk=blk).to_int(), addr)
 
     def _lookup(self, key: int, addr: bytes) -> Optional[bytes]:
         """Floor-search every structure in freshness order (Algorithm 6):
@@ -350,6 +368,22 @@ class Cole:
         """Historical values of ``addr`` in ``[blk_low, blk_high]`` + proof."""
         if blk_low > blk_high:
             raise StorageError("empty block range")
+        with self.gate.shared():
+            return self._prov_query(addr, blk_low, blk_high)
+
+    def prov_query_anchored(
+        self, addr: bytes, blk_low: int, blk_high: int
+    ) -> Tuple[ProvenanceResult, Digest]:
+        """:meth:`prov_query` plus the ``Hstate`` the proof verifies
+        against, both read under one gate hold so no commit checkpoint
+        can slide between proof and anchor (the serving layer's PROV op
+        hands both to remote verifiers)."""
+        if blk_low > blk_high:
+            raise StorageError("empty block range")
+        with self.gate.shared():
+            return self._prov_query(addr, blk_low, blk_high), self._root_digest()
+
+    def _prov_query(self, addr: bytes, blk_low: int, blk_high: int) -> ProvenanceResult:
         addr_int = int.from_bytes(addr, "big")
         key_low = addr_int * 2**64 + blk_low - 1  # <addr, blk_low - 1>
         key_high = addr_int * 2**64 + min(blk_high + 1, MAX_BLK)
@@ -407,7 +441,7 @@ class Cole:
                     early_stop = True
 
         items: List[ProofItem] = []
-        for label, digest in self.root_hash_list():
+        for label, digest in self._root_hash_list():
             item = items_by_label.get(label)
             items.append(item if item is not None else StubItem(digest=digest))
 
@@ -431,7 +465,8 @@ class Cole:
 
     def storage_bytes(self) -> int:
         """Total on-disk footprint (the storage series of Figures 9-10)."""
-        return self.workspace.storage_bytes()
+        with self.gate.shared():
+            return self.workspace.storage_bytes()
 
     def num_disk_levels(self) -> int:
         """Number of instantiated on-disk levels (``d_COLE`` of Table 1)."""
@@ -442,13 +477,19 @@ class Cole:
         the paper's future-work extension — see repro.core.rewind)."""
         from repro.core.rewind import rewind_to
 
-        return rewind_to(self, target_blk)
+        with self.gate.exclusive():
+            return rewind_to(self, target_blk)
 
     def close(self) -> None:
-        """Join merges, stop the merge workers, and close all file handles."""
+        """Join merges, stop the merge workers, and close all file handles.
+
+        Holds the gate exclusive so in-flight queries finish before their
+        file handles disappear from under them.
+        """
         self.wait_for_merges()
         self.scheduler.close()
-        self.workspace.close()
+        with self.gate.exclusive():
+            self.workspace.close()
 
     # =========================================================================
     # durability (Section 4.3)

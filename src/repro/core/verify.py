@@ -22,7 +22,6 @@ from repro.core.compound import MAX_BLK, addr_of_int, blk_of_int
 from repro.core.merklefile import verify_range_proof as verify_merkle_range
 from repro.core.proofs import (
     MemProofItem,
-    ProvenanceProof,
     ProvenanceResult,
     RunNegativeItem,
     RunProofItem,
@@ -159,10 +158,9 @@ def _reconstruct_merkle_root(item: RunProofItem, key_width: int) -> Digest:
 
 
 def _fold_merkle(item: RunProofItem, key_width: int) -> Digest:
-    from repro.core.merklefile import layer_sizes, leaf_hash
+    from repro.core.merklefile import leaf_hash
 
     proof = item.merkle_proof
-    sizes = layer_sizes(proof.num_leaves, proof.fanout)
     digests = [leaf_hash(key, value, key_width) for key, value in item.entries]
     position = proof.lo
     for layer, (left, right) in enumerate(proof.sibling_layers):

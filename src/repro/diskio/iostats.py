@@ -52,8 +52,14 @@ class IOStats:
 
     @property
     def total(self) -> int:
-        """Total page accesses (reads + writes)."""
-        return self.total_reads + self.total_writes
+        """Total page accesses (reads + writes).
+
+        Both sums are taken under one lock acquisition: summing reads and
+        writes separately would let a recorder land between the two and
+        produce a total that matches neither before nor after.
+        """
+        with self._lock:
+            return sum(self.page_reads.values()) + sum(self.page_writes.values())
 
     def snapshot(self) -> "IOStats":
         """Return an independent copy (for before/after deltas)."""

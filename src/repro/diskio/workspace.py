@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import os
 import shutil
+import threading
 from typing import Dict, Iterator, Optional
 
 from repro.common.errors import StorageError
@@ -29,6 +30,9 @@ class Workspace:
         os.makedirs(root, exist_ok=True)
         self._open_files: Dict[str, PagedFile] = {}
         self._raw_bytes: Dict[str, int] = {}
+        # Background merges open run files while queries run; the handle
+        # table must not be mutated mid-iteration.
+        self._files_lock = threading.Lock()
 
     # -- file management ----------------------------------------------------
 
@@ -40,19 +44,20 @@ class Workspace:
         self, name: str, category: str = "file", cache_pages: int = 0, create: bool = True
     ) -> PagedFile:
         """Open (or create) the paged file ``name``; handles are cached."""
-        existing = self._open_files.get(name)
-        if existing is not None:
-            return existing
-        handle = PagedFile(
-            self.path_of(name),
-            self.page_size,
-            stats=self.stats,
-            category=category,
-            cache_pages=cache_pages,
-            create=create,
-        )
-        self._open_files[name] = handle
-        return handle
+        with self._files_lock:
+            existing = self._open_files.get(name)
+            if existing is not None:
+                return existing
+            handle = PagedFile(
+                self.path_of(name),
+                self.page_size,
+                stats=self.stats,
+                category=category,
+                cache_pages=cache_pages,
+                create=create,
+            )
+            self._open_files[name] = handle
+            return handle
 
     def exists(self, name: str) -> bool:
         """True if a file called ``name`` exists on disk."""
@@ -60,7 +65,8 @@ class Workspace:
 
     def remove_file(self, name: str) -> None:
         """Close (if open) and delete the file ``name``."""
-        handle = self._open_files.pop(name, None)
+        with self._files_lock:
+            handle = self._open_files.pop(name, None)
         if handle is not None:
             handle.close()
         path = self.path_of(name)
@@ -70,7 +76,8 @@ class Workspace:
 
     def close_file(self, name: str) -> None:
         """Close the open handle for ``name`` without deleting it."""
-        handle = self._open_files.pop(name, None)
+        with self._files_lock:
+            handle = self._open_files.pop(name, None)
         if handle is not None:
             handle.close()
 
@@ -99,7 +106,9 @@ class Workspace:
 
     def storage_bytes(self) -> int:
         """Total on-disk footprint (files plus registered raw artifacts)."""
-        for handle in self._open_files.values():
+        with self._files_lock:
+            handles = list(self._open_files.values())
+        for handle in handles:
             if not handle._closed:  # flush so getsize sees appended pages
                 handle.flush()
         total = 0
@@ -113,9 +122,11 @@ class Workspace:
 
     def close(self) -> None:
         """Close all open file handles (idempotent)."""
-        for handle in self._open_files.values():
+        with self._files_lock:
+            handles = list(self._open_files.values())
+            self._open_files.clear()
+        for handle in handles:
             handle.close()
-        self._open_files.clear()
 
     def destroy(self) -> None:
         """Close everything and delete the workspace directory."""

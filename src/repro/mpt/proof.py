@@ -15,7 +15,7 @@ from typing import List, Optional
 from repro.common.errors import VerificationError
 from repro.common.hashing import Digest, hash_bytes
 from repro.mpt.nibbles import bytes_to_nibbles
-from repro.mpt.node import BranchNode, ExtensionNode, LeafNode, decode_node
+from repro.mpt.node import ExtensionNode, LeafNode, decode_node
 
 
 @dataclass(frozen=True)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.common.errors import IntegrityError, StorageError
+from repro.common.errors import IntegrityError
 from repro.common.hashing import Digest
 from repro.kvstore import LSMStore
 from repro.mpt.nibbles import Nibbles, bytes_to_nibbles, common_prefix_len

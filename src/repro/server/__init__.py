@@ -1,0 +1,49 @@
+"""The serving layer: COLE behind a concurrent TCP front end.
+
+Turns the in-process engine into a service (see DESIGN.md):
+
+* :class:`ColeServer` — asyncio TCP server speaking a length-prefixed
+  binary protocol (PUT / GET / GET_AT / PROV / ROOT / STATS / FLUSH)
+  over one ``Cole`` or ``ShardedCole``;
+* :class:`WriteBatcher` — group commit: many clients' puts coalesce into
+  one block through the engine's batched write path;
+* :class:`VersionedReadCache` — hot-key read cache, invalidated by
+  commit version so cached answers are always exact;
+* :class:`ServerClient` — pooled, pipelined asyncio client;
+* :mod:`repro.server.loadgen` — open/closed-loop load generation
+  (``repro loadgen`` on the CLI; Figure 17 in the benchmarks).
+"""
+
+from repro.server.batcher import WriteBatcher
+from repro.server.cache import VersionedReadCache
+from repro.server.client import ServerClient
+from repro.server.loadgen import (
+    LoadgenParams,
+    LoadReport,
+    client_ops,
+    format_report,
+    replay_writes,
+    run_loadgen,
+    run_loadgen_sync,
+)
+from repro.server.protocol import Op, RootInfo, Status
+from repro.server.server import ColeServer, ServerConfig, ServerThread
+
+__all__ = [
+    "ColeServer",
+    "ServerConfig",
+    "ServerThread",
+    "ServerClient",
+    "WriteBatcher",
+    "VersionedReadCache",
+    "Op",
+    "Status",
+    "RootInfo",
+    "LoadgenParams",
+    "LoadReport",
+    "client_ops",
+    "format_report",
+    "replay_writes",
+    "run_loadgen",
+    "run_loadgen_sync",
+]

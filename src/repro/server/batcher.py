@@ -1,0 +1,200 @@
+"""Group commit: coalescing many clients' puts into one block.
+
+Every network PUT lands in the *active batch* of one :class:`WriteBatcher`.
+The batch flushes into a single engine block — ``begin_block`` /
+``put_many`` / ``commit_block`` on the engine's existing batched write
+path — when either threshold trips:
+
+* **size**: the batch reached ``max_batch`` puts, or
+* **time**: ``max_delay`` seconds passed since the batch's first put.
+
+This is classic group commit: the per-block costs (capacity check, L0
+flush scheduling, ``Hstate`` recomputation, manifest fsync) are paid once
+per batch instead of once per client write, which is what lets one
+engine absorb the put streams of hundreds of connections.
+
+Read-your-writes across all clients is preserved by the **overlay**:
+buffered puts are visible to the server's read path (consulted before the
+read cache and the engine) from the moment their PUT is acknowledged.
+The overlay is torn down only *after* the group commit lands and the
+cache epoch is bumped, so there is no instant at which a buffered write
+is invisible.
+
+The batcher is event-loop confined: ``put`` / ``lookup`` run only on the
+server's asyncio thread, while the engine commit itself runs on the
+server's thread pool so the loop keeps serving reads during a cascade
+(the engine's :class:`~repro.common.gate.CommitGate` makes those reads
+safe against the checkpoint).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import StorageError
+from repro.common.hashing import Digest
+
+#: Sentinel distinguishing "address not buffered" from a buffered value.
+MISSING = object()
+
+
+class WriteBatcher:
+    """Buffers puts and commits them as one block per flush."""
+
+    def __init__(
+        self,
+        engine,
+        *,
+        max_batch: int = 512,
+        max_delay: float = 0.01,
+        run_in_executor: Callable[..., Awaitable],
+        on_commit: Optional[Callable[[int, Digest, int], None]] = None,
+    ) -> None:
+        """``run_in_executor(fn, *args)`` awaits ``fn`` off-loop;
+        ``on_commit(height, root, batch_size)`` fires after each commit
+        (the server bumps its cache epoch there)."""
+        self.engine = engine
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self._run = run_in_executor
+        self._on_commit = on_commit
+        # The open block: puts buffered here commit at _next_height.
+        self._next_height = max(engine.current_blk, engine.checkpoint_blk) + 1
+        self._active_items: List[Tuple[bytes, bytes]] = []
+        self._active_overlay: Dict[bytes, bytes] = {}
+        # The in-flight flush (at most one; _flush_lock serializes).
+        self._flushing_overlay: Dict[bytes, bytes] = {}
+        self._flushing_height = -1
+        self._flush_lock = asyncio.Lock()
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._closed = False
+        # Accounting (exposed via the STATS op).
+        self.commits = 0
+        self.batched_puts = 0
+        self.size_flushes = 0
+        self.timer_flushes = 0
+        self.forced_flushes = 0
+        self.last_root: Optional[Digest] = None
+        self.last_height = max(engine.current_blk, engine.checkpoint_blk)
+
+    # -- write side (event loop only) -----------------------------------------
+
+    def put(self, addr: bytes, value: bytes) -> int:
+        """Buffer one put; returns the block height it will commit at."""
+        if self._closed:
+            raise StorageError("server is shutting down")
+        self._active_items.append((addr, value))
+        self._active_overlay[addr] = value
+        height = self._next_height
+        if len(self._active_items) >= self.max_batch:
+            self.size_flushes += 1
+            self._spawn_flush()
+        elif self._timer is None:
+            loop = asyncio.get_running_loop()
+            self._timer = loop.call_later(self.max_delay, self._on_timer)
+        return height
+
+    def _on_timer(self) -> None:
+        self._timer = None
+        if self._active_items and not self._closed:
+            self.timer_flushes += 1
+            self._spawn_flush()
+
+    def _spawn_flush(self) -> None:
+        asyncio.get_running_loop().create_task(self.flush())
+
+    # -- read side (event loop only) ------------------------------------------
+
+    def lookup(self, addr: bytes):
+        """Buffered value of ``addr``, or :data:`MISSING`.
+
+        Checks the active batch before the in-flight one: the active
+        batch holds the newer write when an address appears in both.
+        """
+        value = self._active_overlay.get(addr, MISSING)
+        if value is not MISSING:
+            return value
+        return self._flushing_overlay.get(addr, MISSING)
+
+    def lookup_at(self, addr: bytes, blk: int):
+        """Buffered answer for ``get_at(addr, blk)``, or :data:`MISSING`.
+
+        A buffered write is the floor answer only when the queried height
+        reaches the block the write will commit at.
+        """
+        if blk >= self._next_height:
+            value = self._active_overlay.get(addr, MISSING)
+            if value is not MISSING:
+                return value
+        if self._flushing_height >= 0 and blk >= self._flushing_height:
+            value = self._flushing_overlay.get(addr, MISSING)
+            if value is not MISSING:
+                return value
+        return MISSING
+
+    @property
+    def buffered(self) -> int:
+        """Puts currently buffered (active batch only)."""
+        return len(self._active_items)
+
+    # -- flushing -------------------------------------------------------------
+
+    async def flush(self) -> Tuple[Digest, int]:
+        """Group-commit the active batch; returns ``(root, height)``.
+
+        With nothing buffered this is a read: the last committed root is
+        returned (computed once from the engine if nothing was committed
+        through this batcher yet).  Safe to call concurrently — flushes
+        serialize and each batch commits exactly once.
+        """
+        async with self._flush_lock:
+            if self._timer is not None:
+                self._timer.cancel()
+                self._timer = None
+            if not self._active_items:
+                if self.last_root is None:
+                    self.last_root = await self._run(self.engine.root_digest)
+                return self.last_root, self.last_height
+            items = self._active_items
+            overlay = self._active_overlay
+            self._active_items = []
+            self._active_overlay = {}
+            self._flushing_overlay = overlay
+            height = self._next_height
+            self._flushing_height = height
+            self._next_height = height + 1
+            try:
+                root = await self._run(self._commit, height, items)
+            except BaseException:
+                # The engine rejected the block (e.g. a malformed write
+                # slipped through): the batch is lost, but the overlay
+                # must not keep answering for it.
+                self._flushing_overlay = {}
+                self._flushing_height = -1
+                raise
+            self.commits += 1
+            self.batched_puts += len(items)
+            self.last_root = root
+            self.last_height = height
+            if self._on_commit is not None:
+                # The epoch bump happens here — before the overlay is
+                # dropped — so no read can combine a stale cache entry
+                # with a missing overlay.
+                self._on_commit(height, root, len(items))
+            self._flushing_overlay = {}
+            self._flushing_height = -1
+            return root, height
+
+    def _commit(self, height: int, items: List[Tuple[bytes, bytes]]) -> Digest:
+        self.engine.begin_block(height)
+        self.engine.put_many(items)
+        return self.engine.commit_block()
+
+    async def close(self) -> None:
+        """Flush what is buffered and refuse further puts."""
+        self._closed = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        await self.flush()

@@ -1,0 +1,89 @@
+"""The versioned read cache: hot-key answers, invalidated by commit version.
+
+Cached answers must be *exact* — a stale value served after a group
+commit would break the byte-identical guarantee the serving layer makes
+against a direct in-process engine run.  Instead of tracking which
+addresses each commit touched, every entry is stamped with the server's
+**commit version** (the group-commit counter, i.e. the ``Hstate``
+checkpoint epoch) at fill time, and a lookup only hits when the entry's
+stamp equals the current version.  A commit bumps the version, which
+atomically invalidates the whole cache without touching a single entry.
+
+Exactness argument: between two commits the engine's committed state is
+immutable (puts buffered by the write batcher are served from its
+overlay, which is consulted *before* this cache), so any entry stamped
+with the current version was computed against exactly the state a fresh
+engine lookup would see.  Entries filled from a read that raced a commit
+are stamped with the pre-commit version and can never be served after
+the bump.
+
+Eviction is LRU with a fixed capacity; stale entries are additionally
+dropped lazily when a lookup trips over them.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable, Optional, Tuple
+
+
+class VersionedReadCache:
+    """An LRU cache of ``key -> (version, value)`` with epoch invalidation.
+
+    ``value`` may be ``None`` — negative answers ("no such address") are
+    as cacheable as positive ones.  Thread-safe: the server fills it from
+    executor threads while the event loop reads counters.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Tuple[int, Optional[bytes]]]" = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable, version: int) -> Tuple[bool, Optional[bytes]]:
+        """Return ``(hit, value)``; only entries stamped ``version`` hit."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return False, None
+            stamp, value = entry
+            if stamp != version:
+                del self._entries[key]  # stale epoch: lazily evict
+                self.misses += 1
+                return False, None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True, value
+
+    def put(self, key: Hashable, version: int, value: Optional[bytes]) -> None:
+        """Store an answer computed while ``version`` was current."""
+        with self._lock:
+            self._entries[key] = (version, value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop all entries and counters."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0

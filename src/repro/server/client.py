@@ -1,0 +1,168 @@
+"""The asyncio client of the serving layer: pooled, pipelined connections.
+
+A :class:`ServerClient` owns ``pool_size`` TCP connections and spreads
+requests across them round-robin.  Each connection **pipelines**: a
+request is written and its response future queued without waiting for
+earlier responses, and a per-connection reader task resolves futures in
+FIFO order — valid because the server answers every connection strictly
+in request order.  Pipelining removes the per-op network round trip from
+the critical path, which is where most of a small op's latency lives.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.common.errors import StorageError
+from repro.server import protocol
+from repro.server.protocol import Op, RootInfo
+
+
+class _Connection:
+    """One TCP connection with FIFO response matching."""
+
+    def __init__(self) -> None:
+        self.reader: Optional[asyncio.StreamReader] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+        self._pending: Deque[asyncio.Future] = deque()
+        self._reader_task: Optional[asyncio.Task] = None
+        self._send_lock = asyncio.Lock()
+        self._closed = False
+
+    async def open(self, host: str, port: int) -> None:
+        self.reader, self.writer = await asyncio.open_connection(host, port)
+        self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                body = await protocol.read_frame(self.reader)
+                if body is None:
+                    break
+                if not self._pending:
+                    raise StorageError("unsolicited response frame")
+                future = self._pending.popleft()
+                if not future.done():
+                    future.set_result(body)
+        except Exception as exc:  # noqa: BLE001 — fail every waiter
+            self._fail_pending(exc)
+        else:
+            self._fail_pending(StorageError("connection closed by server"))
+
+    def _fail_pending(self, exc: BaseException) -> None:
+        while self._pending:
+            future = self._pending.popleft()
+            if not future.done():
+                future.set_exception(exc)
+
+    async def request(self, frame: bytes) -> bytes:
+        """Send one frame, await its response body (pipelined)."""
+        if self._closed or self.writer is None:
+            raise StorageError("connection is closed")
+        future = asyncio.get_running_loop().create_future()
+        # The (enqueue, write) pair must be atomic per request so the
+        # FIFO future queue matches the server's response order.
+        async with self._send_lock:
+            self._pending.append(future)
+            self.writer.write(frame)
+            await self.writer.drain()
+        return await future
+
+    async def close(self) -> None:
+        self._closed = True
+        if self.writer is not None:
+            self.writer.close()
+            try:
+                await self.writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+
+
+class ServerClient:
+    """Typed ops over a pool of pipelined connections."""
+
+    def __init__(self, host: str, port: int, pool_size: int = 1) -> None:
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        self.host = host
+        self.port = port
+        self.pool_size = pool_size
+        self._conns: List[_Connection] = []
+        self._next = 0
+
+    async def connect(self) -> "ServerClient":
+        """Open every pooled connection."""
+        for _ in range(self.pool_size):
+            conn = _Connection()
+            await conn.open(self.host, self.port)
+            self._conns.append(conn)
+        return self
+
+    async def close(self) -> None:
+        """Close every pooled connection."""
+        conns, self._conns = self._conns, []
+        for conn in conns:
+            await conn.close()
+
+    async def __aenter__(self) -> "ServerClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    def _conn(self) -> _Connection:
+        if not self._conns:
+            raise StorageError("client is not connected")
+        conn = self._conns[self._next % len(self._conns)]
+        self._next += 1
+        return conn
+
+    # -- ops ------------------------------------------------------------------
+
+    async def put(self, addr: bytes, value: bytes) -> int:
+        """Buffer a write on the server; returns its target block height."""
+        body = await self._conn().request(protocol.encode_put(addr, value))
+        return protocol.decode_height_response(body)
+
+    async def get(self, addr: bytes) -> Optional[bytes]:
+        """Latest value of ``addr`` (read-your-writes across all clients)."""
+        body = await self._conn().request(protocol.encode_get(addr))
+        return protocol.decode_value_response(body)
+
+    async def get_at(self, addr: bytes, blk: int) -> Optional[bytes]:
+        """Value of ``addr`` as of block ``blk``."""
+        body = await self._conn().request(protocol.encode_get_at(addr, blk))
+        return protocol.decode_value_response(body)
+
+    async def prov(
+        self, addr: bytes, blk_low: int, blk_high: int
+    ) -> Tuple[object, bytes]:
+        """Provenance result plus the ``Hstate`` digest it verifies against."""
+        body = await self._conn().request(protocol.encode_prov(addr, blk_low, blk_high))
+        result, root = protocol.decode_prov_response(body)
+        return result, root
+
+    async def root(self) -> RootInfo:
+        """Committed state root, commit version, and block height."""
+        body = await self._conn().request(protocol.encode_simple(Op.ROOT))
+        return protocol.decode_root_response(body)
+
+    async def stats(self) -> dict:
+        """The server's serving statistics (JSON-decoded)."""
+        import json
+
+        body = await self._conn().request(protocol.encode_simple(Op.STATS))
+        return json.loads(protocol.decode_blob_response(body))
+
+    async def flush(self) -> RootInfo:
+        """Force a group commit; returns the new state anchor."""
+        body = await self._conn().request(protocol.encode_simple(Op.FLUSH))
+        return protocol.decode_root_response(body)

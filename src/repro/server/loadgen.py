@@ -1,0 +1,308 @@
+"""Open/closed-loop load generation against a running :class:`ColeServer`.
+
+The generator speaks the real wire protocol through real sockets — it is
+the serving layer's counterpart of the YCSB running phase (Section
+8.1.3): every logical client issues a deterministic mixed read/write
+stream with zipfian key popularity.
+
+Two driving disciplines:
+
+* **closed loop** — each client issues its next op when the previous one
+  completes; latency is pure service time.  Throughput scales with the
+  client count until the server saturates.
+* **open loop** — ops arrive on a fixed schedule (``rate`` ops/s split
+  across clients) regardless of completions; latency is measured from
+  the *scheduled* arrival, so queueing delay under overload is visible
+  (the coordinated-omission-free discipline).
+
+Determinism: the op stream of client ``i`` depends only on the
+parameters and ``i``.  Writes are partitioned — client ``i`` only writes
+keys whose rank is ``i (mod clients)`` — so the final value of every key
+is fixed by the parameters alone, no matter how the server interleaves
+clients.  :func:`replay_writes` applies the same streams directly to an
+in-process engine, which is how the service is checked to be
+byte-identical with the library (``tests/test_server.py``,
+``benchmarks/bench_fig17_service.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.common.hashing import hash_bytes
+from repro.server.client import ServerClient
+from repro.workloads.ycsb import ZipfGenerator
+
+#: One op: ("get", addr, None) or ("put", addr, value).
+ClientOp = Tuple[str, bytes, Optional[bytes]]
+
+
+@dataclass(frozen=True)
+class LoadgenParams:
+    """Shape of one load-generation run."""
+
+    clients: int = 32
+    ops_per_client: int = 200
+    read_fraction: float = 0.5
+    num_keys: int = 1024
+    addr_size: int = 32
+    value_size: int = 40
+    theta: float = 0.99
+    seed: int = 7
+    mode: str = "closed"  # "closed" or "open"
+    rate: float = 2000.0  # total target ops/s (open loop only)
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ValueError("clients must be >= 1")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError("read_fraction must be in [0, 1]")
+        if self.mode not in ("closed", "open"):
+            raise ValueError("mode must be 'closed' or 'open'")
+        if self.mode == "open" and self.rate <= 0:
+            raise ValueError("open loop needs a positive rate")
+
+
+def key_addr(rank: int, addr_size: int) -> bytes:
+    """Address of YCSB key ``user<rank>`` — identical to
+    ``KVStoreContract.key_addr`` so served state and chain state agree."""
+    return hash_bytes(f"kv:user{rank}".encode())[:addr_size]
+
+
+def _value(client_id: int, index: int, value_size: int) -> bytes:
+    """Deterministic fixed-width payload for client ``client_id``'s
+    ``index``-th write."""
+    payload = hash_bytes(f"v:{client_id}:{index}".encode())
+    while len(payload) < value_size:
+        payload += hash_bytes(payload)
+    return payload[:value_size]
+
+
+def client_ops(params: LoadgenParams, client_id: int) -> List[ClientOp]:
+    """The deterministic op stream of one logical client.
+
+    Reads draw zipfian ranks over the whole key space; writes draw over
+    the client's own partition (rank ≡ client_id mod clients), so every
+    key has exactly one writer and the final state is order-independent.
+    A client whose partition is empty (more clients than keys) issues
+    reads only — any write fallback would give some key two writers and
+    make the final state interleaving-dependent.
+    """
+    import random
+
+    rng = random.Random(params.seed * 10_007 + client_id)
+    zipf_reads = ZipfGenerator(
+        params.num_keys, theta=params.theta, seed=params.seed + client_id
+    )
+    owned = list(range(client_id, params.num_keys, params.clients))
+    zipf_writes = ZipfGenerator(
+        max(1, len(owned)), theta=params.theta, seed=params.seed + 100_000 + client_id
+    )
+    ops: List[ClientOp] = []
+    writes = 0
+    for _ in range(params.ops_per_client):
+        if rng.random() < params.read_fraction or not owned:
+            rank = zipf_reads.next_rank()
+            ops.append(("get", key_addr(rank, params.addr_size), None))
+        else:
+            rank = owned[zipf_writes.next_rank()]
+            ops.append(
+                (
+                    "put",
+                    key_addr(rank, params.addr_size),
+                    _value(client_id, writes, params.value_size),
+                )
+            )
+            writes += 1
+    return ops
+
+
+def replay_writes(engine, params: LoadgenParams, puts_per_block: int = 256) -> None:
+    """Apply every client's write stream directly to ``engine``.
+
+    Clients are replayed in id order; within a client, op order is
+    preserved.  Because each address has a single writer, the resulting
+    per-address latest values are exactly what any interleaved service
+    run converges to.
+    """
+    pending: List[Tuple[bytes, bytes]] = []
+    height = max(engine.current_blk, engine.checkpoint_blk)
+
+    def commit_pending() -> None:
+        nonlocal height, pending
+        if not pending:
+            return
+        height += 1
+        engine.begin_block(height)
+        engine.put_many(pending)
+        engine.commit_block()
+        pending = []
+
+    for client_id in range(params.clients):
+        for kind, addr, value in client_ops(params, client_id):
+            if kind != "put":
+                continue
+            pending.append((addr, value))
+            if len(pending) >= puts_per_block:
+                commit_pending()
+    commit_pending()
+
+
+# =============================================================================
+# running the load
+# =============================================================================
+
+@dataclass
+class LoadReport:
+    """What one load-generation run measured."""
+
+    mode: str
+    clients: int
+    ops: int = 0
+    reads: int = 0
+    writes: int = 0
+    errors: int = 0
+    elapsed_s: float = 0.0
+    latencies: List[float] = field(default_factory=list)  # per-op seconds
+    server_stats: dict = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Completed ops per second of wall clock."""
+        return self.ops / self.elapsed_s if self.elapsed_s else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Read-cache hit rate reported by the server after the run."""
+        return self.server_stats.get("cache", {}).get("hit_rate", 0.0)
+
+
+async def _issue(client: ServerClient, op: ClientOp) -> None:
+    kind, addr, value = op
+    if kind == "get":
+        await client.get(addr)
+    else:
+        await client.put(addr, value)
+
+
+async def _closed_worker(
+    host: str, port: int, ops: List[ClientOp], report: LoadReport
+) -> None:
+    async with ServerClient(host, port) as client:
+        for op in ops:
+            started = time.perf_counter()
+            try:
+                await _issue(client, op)
+            except Exception:
+                report.errors += 1
+                continue
+            report.latencies.append(time.perf_counter() - started)
+            report.ops += 1
+            if op[0] == "get":
+                report.reads += 1
+            else:
+                report.writes += 1
+
+
+async def _open_worker(
+    host: str,
+    port: int,
+    ops: List[ClientOp],
+    interval: float,
+    report: LoadReport,
+) -> None:
+    async with ServerClient(host, port) as client:
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        inflight: List[asyncio.Task] = []
+
+        async def timed(op: ClientOp, scheduled: float) -> None:
+            try:
+                await _issue(client, op)
+            except Exception:
+                report.errors += 1
+                return
+            # Latency from the scheduled arrival: queueing counts.
+            report.latencies.append(loop.time() - scheduled)
+            report.ops += 1
+            if op[0] == "get":
+                report.reads += 1
+            else:
+                report.writes += 1
+
+        for index, op in enumerate(ops):
+            scheduled = started + index * interval
+            delay = scheduled - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            inflight.append(loop.create_task(timed(op, scheduled)))
+        if inflight:
+            await asyncio.gather(*inflight)
+
+
+async def run_loadgen(host: str, port: int, params: LoadgenParams) -> LoadReport:
+    """Drive the server with ``params.clients`` concurrent clients.
+
+    Finishes with a forced group commit (so the run's writes are
+    committed) and a STATS snapshot attached to the report.
+    """
+    report = LoadReport(mode=params.mode, clients=params.clients)
+    streams = [client_ops(params, cid) for cid in range(params.clients)]
+    started = time.perf_counter()
+    if params.mode == "closed":
+        workers = [
+            _closed_worker(host, port, stream, report) for stream in streams
+        ]
+    else:
+        interval = params.clients / params.rate  # per-client inter-arrival
+        workers = [
+            _open_worker(host, port, stream, interval, report) for stream in streams
+        ]
+    await asyncio.gather(*workers)
+    report.elapsed_s = time.perf_counter() - started
+    async with ServerClient(host, port) as control:
+        await control.flush()
+        report.server_stats = await control.stats()
+    return report
+
+
+def run_loadgen_sync(host: str, port: int, params: LoadgenParams) -> LoadReport:
+    """Blocking wrapper around :func:`run_loadgen` (CLI entry point)."""
+    return asyncio.run(run_loadgen(host, port, params))
+
+
+def format_report(report: LoadReport) -> str:
+    """Multi-line human-readable summary of one run."""
+    from repro.bench.report import format_rate, format_seconds, percentile
+
+    lines = [
+        f"mode:            {report.mode} ({report.clients} clients)",
+        f"ops:             {report.ops} ({report.reads} reads, "
+        f"{report.writes} writes, {report.errors} errors)",
+        f"elapsed:         {format_seconds(report.elapsed_s)}",
+        f"throughput:      {format_rate(report.ops, report.elapsed_s)}",
+    ]
+    if report.latencies:
+        lines.append(
+            "latency:         "
+            f"p50 {format_seconds(percentile(report.latencies, 0.5))}  "
+            f"p99 {format_seconds(percentile(report.latencies, 0.99))}  "
+            f"max {format_seconds(max(report.latencies))}"
+        )
+    cache = report.server_stats.get("cache")
+    if cache:
+        lines.append(
+            f"read cache:      {cache['hits']} hits / "
+            f"{cache['hits'] + cache['misses']} lookups "
+            f"({cache['hit_rate']:.1%})"
+        )
+    batcher = report.server_stats.get("batcher")
+    if batcher:
+        lines.append(
+            f"group commit:    {batcher['commits']} commits, "
+            f"avg batch {batcher['avg_batch']:.1f} puts"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,287 @@
+"""Wire protocol of the serving layer: length-prefixed binary frames.
+
+Every message — request or response — is one frame::
+
+    u32 body_length | body
+
+A request body is ``u8 opcode`` followed by the op's payload; a response
+body is ``u8 status`` followed by the status's payload.  All integers are
+big-endian.  Variable-length byte strings are encoded as ``u16 length``
+(addresses) or ``u32 length`` (values, blobs) plus the raw bytes.
+
+Ops
+---
+
+========  =======================================  =========================
+op        request payload                          OK response payload
+========  =======================================  =========================
+PUT       addr16, value32                          u64 block height assigned
+GET       addr16                                   value32 (or NOT_FOUND)
+GET_AT    addr16, u64 blk                          value32 (or NOT_FOUND)
+PROV      addr16, u64 blk_low, u64 blk_high        blob32 (pickled result)
+ROOT      —                                        digest16, u64 ver, u64 blk
+STATS     —                                        blob32 (JSON, utf-8)
+FLUSH     —                                        digest16, u64 ver, u64 blk
+========  =======================================  =========================
+
+``PROV`` responses carry the engine's full provenance result (values,
+boundary version, and the authentication proof) as a pickle blob so the
+client can run the verifier locally.  Pickle is only safe between
+mutually trusting endpoints; the serving layer targets a trusted network
+segment, exactly like the paper's single-operator deployment.
+
+The framing is deliberately request-id free: the server answers each
+connection's requests strictly in order, so a pipelining client matches
+responses to requests by position (see ``repro.server.client``).
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.common.errors import StorageError
+
+MAX_FRAME = 64 * 1024 * 1024  # hard cap against corrupt / hostile lengths
+
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+
+
+class Op:
+    """Request opcodes."""
+
+    PUT = 1
+    GET = 2
+    GET_AT = 3
+    PROV = 4
+    ROOT = 5
+    STATS = 6
+    FLUSH = 7
+
+
+class Status:
+    """Response status codes."""
+
+    OK = 0
+    NOT_FOUND = 1
+    ERROR = 2
+
+
+@dataclass(frozen=True)
+class RootInfo:
+    """State anchor returned by ROOT and FLUSH."""
+
+    digest: bytes
+    version: int  # commit-version counter (read-cache epoch)
+    height: int   # last committed block height
+
+
+# =============================================================================
+# primitive encoders
+# =============================================================================
+
+def encode_frame(body: bytes) -> bytes:
+    """Prefix ``body`` with its u32 length."""
+    return _U32.pack(len(body)) + body
+
+
+def pack_bytes16(data: bytes) -> bytes:
+    """u16-length-prefixed bytes (addresses, digests)."""
+    if len(data) > 0xFFFF:
+        raise StorageError("bytes16 field exceeds 64 KiB")
+    return _U16.pack(len(data)) + data
+
+
+def pack_bytes32(data: bytes) -> bytes:
+    """u32-length-prefixed bytes (values, blobs)."""
+    return _U32.pack(len(data)) + data
+
+
+class Cursor:
+    """Sequential decoder over one frame body."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def _take(self, count: int) -> bytes:
+        end = self.pos + count
+        if end > len(self.data):
+            raise StorageError("truncated frame")
+        piece = self.data[self.pos:end]
+        self.pos = end
+        return piece
+
+    def u8(self) -> int:
+        return self._take(1)[0]
+
+    def u16(self) -> int:
+        return _U16.unpack(self._take(2))[0]
+
+    def u32(self) -> int:
+        return _U32.unpack(self._take(4))[0]
+
+    def u64(self) -> int:
+        return _U64.unpack(self._take(8))[0]
+
+    def bytes16(self) -> bytes:
+        return self._take(self.u16())
+
+    def bytes32(self) -> bytes:
+        return self._take(self.u32())
+
+    def done(self) -> bool:
+        return self.pos == len(self.data)
+
+
+# =============================================================================
+# request encoding / decoding
+# =============================================================================
+
+def encode_put(addr: bytes, value: bytes) -> bytes:
+    return encode_frame(bytes([Op.PUT]) + pack_bytes16(addr) + pack_bytes32(value))
+
+
+def encode_get(addr: bytes) -> bytes:
+    return encode_frame(bytes([Op.GET]) + pack_bytes16(addr))
+
+
+def encode_get_at(addr: bytes, blk: int) -> bytes:
+    return encode_frame(bytes([Op.GET_AT]) + pack_bytes16(addr) + _U64.pack(blk))
+
+
+def encode_prov(addr: bytes, blk_low: int, blk_high: int) -> bytes:
+    return encode_frame(
+        bytes([Op.PROV]) + pack_bytes16(addr) + _U64.pack(blk_low) + _U64.pack(blk_high)
+    )
+
+
+def encode_simple(op: int) -> bytes:
+    """ROOT / STATS / FLUSH — opcode-only requests."""
+    return encode_frame(bytes([op]))
+
+
+def decode_request(body: bytes) -> Tuple[int, tuple]:
+    """Decode a request body into ``(opcode, args)``."""
+    cursor = Cursor(body)
+    op = cursor.u8()
+    if op == Op.PUT:
+        return op, (cursor.bytes16(), cursor.bytes32())
+    if op == Op.GET:
+        return op, (cursor.bytes16(),)
+    if op == Op.GET_AT:
+        return op, (cursor.bytes16(), cursor.u64())
+    if op == Op.PROV:
+        return op, (cursor.bytes16(), cursor.u64(), cursor.u64())
+    if op in (Op.ROOT, Op.STATS, Op.FLUSH):
+        return op, ()
+    raise StorageError(f"unknown opcode {op}")
+
+
+# =============================================================================
+# response encoding / decoding
+# =============================================================================
+
+def encode_ok(payload: bytes = b"") -> bytes:
+    return encode_frame(bytes([Status.OK]) + payload)
+
+
+def encode_not_found() -> bytes:
+    return encode_frame(bytes([Status.NOT_FOUND]))
+
+
+def encode_error(message: str) -> bytes:
+    return encode_frame(bytes([Status.ERROR]) + message.encode("utf-8", "replace"))
+
+
+def encode_value_response(value: Optional[bytes]) -> bytes:
+    """GET / GET_AT response."""
+    if value is None:
+        return encode_not_found()
+    return encode_ok(pack_bytes32(value))
+
+
+def encode_height_response(height: int) -> bytes:
+    """PUT response: the block the write is assigned to."""
+    return encode_ok(_U64.pack(height))
+
+
+def encode_root_response(info: RootInfo) -> bytes:
+    """ROOT / FLUSH response."""
+    return encode_ok(
+        pack_bytes16(info.digest) + _U64.pack(info.version) + _U64.pack(info.height)
+    )
+
+
+def encode_blob_response(blob: bytes) -> bytes:
+    """PROV / STATS response."""
+    return encode_ok(pack_bytes32(blob))
+
+
+def check_status(cursor: Cursor) -> int:
+    """Consume the status byte; raises on ERROR frames."""
+    status = cursor.u8()
+    if status == Status.ERROR:
+        raise StorageError(
+            f"server error: {cursor.data[cursor.pos:].decode('utf-8', 'replace')}"
+        )
+    return status
+
+
+def decode_value_response(body: bytes) -> Optional[bytes]:
+    cursor = Cursor(body)
+    if check_status(cursor) == Status.NOT_FOUND:
+        return None
+    return cursor.bytes32()
+
+
+def decode_height_response(body: bytes) -> int:
+    cursor = Cursor(body)
+    check_status(cursor)
+    return cursor.u64()
+
+
+def decode_root_response(body: bytes) -> RootInfo:
+    cursor = Cursor(body)
+    check_status(cursor)
+    return RootInfo(digest=cursor.bytes16(), version=cursor.u64(), height=cursor.u64())
+
+
+def decode_blob_response(body: bytes) -> bytes:
+    cursor = Cursor(body)
+    check_status(cursor)
+    return cursor.bytes32()
+
+
+def decode_prov_response(body: bytes) -> object:
+    return pickle.loads(decode_blob_response(body))
+
+
+# =============================================================================
+# frame IO (asyncio)
+# =============================================================================
+
+async def read_frame(reader) -> Optional[bytes]:
+    """Read one frame body from an ``asyncio.StreamReader``.
+
+    Returns ``None`` on clean EOF at a frame boundary.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(4)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    (length,) = _U32.unpack(header)
+    if length > MAX_FRAME:
+        raise StorageError(f"frame of {length} bytes exceeds MAX_FRAME")
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise StorageError("connection closed mid-frame") from exc

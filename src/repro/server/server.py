@@ -1,0 +1,412 @@
+"""The asyncio TCP server fronting a COLE engine.
+
+One :class:`ColeServer` owns one engine — a single
+:class:`~repro.core.storage.Cole` or a sharded
+:class:`~repro.sharding.engine.ShardedCole` — and serves the
+length-prefixed binary protocol of :mod:`repro.server.protocol` to any
+number of concurrent connections.
+
+Request flow:
+
+* **PUT** is acknowledged as soon as it lands in the
+  :class:`~repro.server.batcher.WriteBatcher`; group commit folds many
+  clients' writes into one block.
+* **GET / GET_AT** consult, in order: the batcher overlay (buffered
+  writes, read-your-writes for everyone), the
+  :class:`~repro.server.cache.VersionedReadCache` (exact: entries are
+  stamped with the commit version and die wholesale at every group
+  commit), and finally the engine itself on the thread pool.
+* **PROV** first forces a group commit so the proof anchors to a
+  committed ``Hstate``, then runs the engine's anchored provenance query.
+* **ROOT / STATS / FLUSH** are control-plane ops.
+
+Each connection's requests are answered strictly in order, so clients
+may pipeline.  Engine work runs on a small thread pool; the engine's
+:class:`~repro.common.gate.CommitGate` keeps those concurrent reads safe
+against commit checkpoints and background merge cascades.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pickle
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Optional, Set, Tuple
+
+from repro.common.errors import StorageError
+from repro.server import protocol
+from repro.server.batcher import MISSING, WriteBatcher
+from repro.server.cache import VersionedReadCache
+from repro.server.protocol import Op, RootInfo
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tuning knobs of the serving layer.
+
+    Attributes:
+        batch_max_puts: group-commit size threshold.
+        batch_max_delay: group-commit time threshold (seconds).
+        cache_capacity: entries in the versioned read cache.
+        executor_workers: threads running engine work (reads + commits).
+    """
+
+    batch_max_puts: int = 512
+    batch_max_delay: float = 0.01
+    cache_capacity: int = 8192
+    executor_workers: int = 8
+
+    def __post_init__(self) -> None:
+        if self.batch_max_puts < 1:
+            raise ValueError("batch_max_puts must be >= 1")
+        if self.batch_max_delay <= 0:
+            raise ValueError("batch_max_delay must be positive")
+        if self.executor_workers < 1:
+            raise ValueError("executor_workers must be >= 1")
+
+
+class ColeServer:
+    """Serve one engine over TCP."""
+
+    def __init__(
+        self,
+        engine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        config: Optional[ServerConfig] = None,
+    ) -> None:
+        """Wrap ``engine`` (a ``Cole`` or ``ShardedCole``); ``port=0``
+        binds an ephemeral port (reported by :meth:`start`)."""
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self.config = config if config is not None else ServerConfig()
+        self.cache = VersionedReadCache(self.config.cache_capacity)
+        #: Commit version: the read-cache epoch, bumped per group commit.
+        self.version = 0
+        self.batcher: Optional[WriteBatcher] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: Set[asyncio.Task] = set()
+        self._conn_writers: Set[asyncio.StreamWriter] = set()
+        # Op counters (STATS).
+        self.op_counts = {"put": 0, "get": 0, "get_at": 0, "prov": 0,
+                          "root": 0, "stats": 0, "flush": 0}
+        self.overlay_hits = 0
+        self.connections_total = 0
+
+    # =========================================================================
+    # lifecycle
+    # =========================================================================
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns the bound ``(host, port)``."""
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.executor_workers,
+            thread_name_prefix="cole-serve",
+        )
+        self.batcher = WriteBatcher(
+            self.engine,
+            max_batch=self.config.batch_max_puts,
+            max_delay=self.config.batch_max_delay,
+            run_in_executor=self._run,
+            on_commit=self._committed,
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        """Block serving requests until cancelled or :meth:`stop`."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def stop(self) -> None:
+        """Stop accepting, drain the batcher, release the thread pool.
+
+        The engine is *not* closed — the caller owns it.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Closing the transports ends each handler's read loop at its
+        # next frame boundary — no task cancellation, no half-written
+        # responses.
+        for writer in list(self._conn_writers):
+            writer.close()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if self.batcher is not None:
+            await self.batcher.close()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def _run(self, fn, *args):
+        """Run engine work on the thread pool; awaitable."""
+        return asyncio.get_running_loop().run_in_executor(self._executor, fn, *args)
+
+    def _committed(self, height: int, root, batch_size: int) -> None:
+        """Group-commit hook: a new epoch begins, the cache's old answers
+        expire wholesale (they are only stale for written addresses, but
+        those are covered by the overlay until this very instant)."""
+        self.version += 1
+
+    # =========================================================================
+    # connection handling
+    # =========================================================================
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections_total += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        self._conn_writers.add(writer)
+        try:
+            while True:
+                body = await protocol.read_frame(reader)
+                if body is None:
+                    break
+                try:
+                    op, args = protocol.decode_request(body)
+                    response = await self._dispatch(op, args)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:
+                    response = protocol.encode_error(f"{type(exc).__name__}: {exc}")
+                writer.write(response)
+                await writer.drain()
+        except StorageError:
+            # Broken framing (oversized length prefix, mid-frame close):
+            # no way to answer reliably — drop the connection.
+            pass
+        except (asyncio.CancelledError, ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._conn_writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (asyncio.CancelledError, ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, op: int, args: tuple) -> bytes:
+        if op == Op.PUT:
+            self.op_counts["put"] += 1
+            addr, value = args
+            height = self.batcher.put(addr, value)
+            return protocol.encode_height_response(height)
+        if op == Op.GET:
+            self.op_counts["get"] += 1
+            return protocol.encode_value_response(await self._get(args[0]))
+        if op == Op.GET_AT:
+            self.op_counts["get_at"] += 1
+            addr, blk = args
+            return protocol.encode_value_response(await self._get_at(addr, blk))
+        if op == Op.PROV:
+            self.op_counts["prov"] += 1
+            return await self._prov(*args)
+        if op == Op.ROOT:
+            self.op_counts["root"] += 1
+            return protocol.encode_root_response(await self._root_info())
+        if op == Op.STATS:
+            self.op_counts["stats"] += 1
+            blob = json.dumps(await self._stats()).encode()
+            return protocol.encode_blob_response(blob)
+        if op == Op.FLUSH:
+            self.op_counts["flush"] += 1
+            self.batcher.forced_flushes += 1
+            root, height = await self.batcher.flush()
+            return protocol.encode_root_response(
+                RootInfo(digest=root, version=self.version, height=height)
+            )
+        return protocol.encode_error(f"unknown opcode {op}")
+
+    # =========================================================================
+    # reads
+    # =========================================================================
+
+    async def _get(self, addr: bytes) -> Optional[bytes]:
+        buffered = self.batcher.lookup(addr)
+        if buffered is not MISSING:
+            self.overlay_hits += 1
+            return buffered
+        version = self.version
+        hit, value = self.cache.get((0, addr), version)
+        if hit:
+            return value
+        value = await self._run(self.engine.get, addr)
+        self.cache.put((0, addr), version, value)
+        return value
+
+    async def _get_at(self, addr: bytes, blk: int) -> Optional[bytes]:
+        buffered = self.batcher.lookup_at(addr, blk)
+        if buffered is not MISSING:
+            self.overlay_hits += 1
+            return buffered
+        version = self.version
+        hit, value = self.cache.get((1, addr, blk), version)
+        if hit:
+            return value
+        value = await self._run(self.engine.get_at, addr, blk)
+        self.cache.put((1, addr, blk), version, value)
+        return value
+
+    async def _prov(self, addr: bytes, blk_low: int, blk_high: int) -> bytes:
+        # Anchor at a committed Hstate: buffered writes must be in the
+        # engine before the proof is cut, or a range covering the open
+        # block would silently miss them.
+        await self.batcher.flush()
+        result, root = await self._run(
+            self.engine.prov_query_anchored, addr, blk_low, blk_high
+        )
+        blob = pickle.dumps((result, root), protocol=pickle.HIGHEST_PROTOCOL)
+        return protocol.encode_blob_response(blob)
+
+    # =========================================================================
+    # control plane
+    # =========================================================================
+
+    async def _root_info(self) -> RootInfo:
+        if self.batcher.last_root is None:
+            self.batcher.last_root = await self._run(self.engine.root_digest)
+        return RootInfo(
+            digest=self.batcher.last_root,
+            version=self.version,
+            height=self.batcher.last_height,
+        )
+
+    async def _stats(self) -> dict:
+        batcher = self.batcher
+        engine = self.engine
+        storage = await self._run(engine.storage_bytes)
+        num_shards = len(engine.shards) if hasattr(engine, "shards") else 1
+        stats = {
+            "ops": dict(self.op_counts),
+            "connections_total": self.connections_total,
+            "version": self.version,
+            "committed_height": batcher.last_height,
+            "open_height": batcher._next_height,
+            "buffered_puts": batcher.buffered,
+            "overlay_hits": self.overlay_hits,
+            "cache": {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "hit_rate": self.cache.hit_rate,
+                "entries": len(self.cache),
+                "capacity": self.cache.capacity,
+            },
+            "batcher": {
+                "commits": batcher.commits,
+                "batched_puts": batcher.batched_puts,
+                "avg_batch": (
+                    batcher.batched_puts / batcher.commits if batcher.commits else 0.0
+                ),
+                "size_flushes": batcher.size_flushes,
+                "timer_flushes": batcher.timer_flushes,
+                "forced_flushes": batcher.forced_flushes,
+            },
+            "engine": {
+                "puts_total": engine.puts_total,
+                "storage_bytes": storage,
+                "disk_levels": engine.num_disk_levels(),
+                "shards": num_shards,
+            },
+        }
+        engine_stats = getattr(engine, "stats", None)
+        if engine_stats is not None:
+            stats["io"] = {
+                "page_reads": engine_stats.total_reads,
+                "page_writes": engine_stats.total_writes,
+            }
+        return stats
+
+
+class ServerThread:
+    """A :class:`ColeServer` on its own event-loop thread.
+
+    The in-process deployment shape used by the benchmarks, the tests,
+    and the demo: the caller's thread stays free to run clients (or an
+    entire load generator) against real sockets while the server loop
+    runs here.  ``start`` blocks until the port is bound; ``stop`` is
+    idempotent and joins the thread.
+    """
+
+    def __init__(
+        self,
+        engine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        config: Optional[ServerConfig] = None,
+    ) -> None:
+        self.server = ColeServer(engine, host, port, config)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self) -> Tuple[str, int]:
+        """Spawn the loop thread; returns the bound ``(host, port)``.
+
+        Idempotent: calling again while running just reports the address.
+        """
+        if self._thread is not None and self._thread.is_alive():
+            return self.server.host, self.server.port
+        self._thread = threading.Thread(
+            target=self._run, name="cole-server", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self.server.host, self.server.port
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # surface bind errors to start()
+            self._startup_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        try:
+            loop.run_forever()  # until stop() calls loop.stop()
+            loop.run_until_complete(self.server.stop())
+        finally:
+            loop.close()
+
+    def stop(self) -> None:
+        """Stop serving and join the loop thread (idempotent)."""
+        loop, thread = self._loop, self._thread
+        if loop is None or thread is None:
+            return
+        if thread.is_alive():
+            loop.call_soon_threadsafe(loop.stop)
+        thread.join()
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

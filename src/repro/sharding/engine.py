@@ -29,6 +29,7 @@ from typing import Iterable, List, Optional, Tuple
 
 from repro.chain.backend import StorageBackend
 from repro.common.errors import StorageError
+from repro.common.gate import CommitGate
 from repro.common.hashing import Digest, hash_concat
 from repro.common.params import ShardParams
 from repro.core.storage import Cole
@@ -60,6 +61,14 @@ class ShardedCole(StorageBackend):
             max_workers=workers, thread_name_prefix="cole-shard"
         )
         self.current_blk = max(shard.current_blk for shard in self.shards)
+        # Cross-shard atomicity: single-shard reads (get / get_at) ride
+        # each shard's own gate; ops that must observe every shard at one
+        # instant (provenance anchored to the composite root, the
+        # shard-root vector) hold this top-level gate shared, and every
+        # mutator (puts, composite commits, rewind) holds it exclusive.
+        # Ordering is always top gate before shard gate, so the two
+        # levels cannot deadlock.
+        self.gate = CommitGate()
         # Hot addresses route repeatedly; memoizing addr -> shard index
         # beats recomputing crc32 per put.  Bounded so an unbounded
         # address space cannot grow it without limit.
@@ -107,16 +116,19 @@ class ShardedCole(StorageBackend):
         across nodes.  Blocks where no shard is at capacity commit
         inline: the pool round-trip costs more than a root recompute.
         """
-        cascade = any(shard.needs_cascade() for shard in self.shards)
-        if cascade and len(self.shards) > 1:
-            roots = list(
-                self._pool.map(
-                    lambda shard: shard.commit_block(force_cascade=True), self.shards
+        with self.gate.exclusive():
+            cascade = any(shard.needs_cascade() for shard in self.shards)
+            if cascade and len(self.shards) > 1:
+                roots = list(
+                    self._pool.map(
+                        lambda shard: shard.commit_block(force_cascade=True), self.shards
+                    )
                 )
-            )
-        else:
-            roots = [shard.commit_block(force_cascade=cascade) for shard in self.shards]
-        return hash_concat(roots)
+            else:
+                roots = [
+                    shard.commit_block(force_cascade=cascade) for shard in self.shards
+                ]
+            return hash_concat(roots)
 
     # =========================================================================
     # write path
@@ -124,21 +136,23 @@ class ShardedCole(StorageBackend):
 
     def put(self, addr: bytes, value: bytes) -> None:
         """Insert a state update on the owning shard."""
-        self._shard_for(addr).put(addr, value)
+        with self.gate.exclusive():
+            self._shard_for(addr).put(addr, value)
 
     def put_many(self, items: Iterable[Tuple[bytes, bytes]]) -> None:
         """Batched put: one routing pass, then one batch per touched shard."""
         num_shards = len(self.shards)
-        if num_shards == 1:
-            self.shards[0].put_many(items)
-            return
-        route = self._route
-        buckets: List[List[Tuple[bytes, bytes]]] = [[] for _ in range(num_shards)]
-        for item in items:
-            buckets[route(item[0])].append(item)
-        for shard, bucket in zip(self.shards, buckets):
-            if bucket:
-                shard.put_many(bucket)
+        with self.gate.exclusive():
+            if num_shards == 1:
+                self.shards[0].put_many(items)
+                return
+            route = self._route
+            buckets: List[List[Tuple[bytes, bytes]]] = [[] for _ in range(num_shards)]
+            for item in items:
+                buckets[route(item[0])].append(item)
+            for shard, bucket in zip(self.shards, buckets):
+                if bucket:
+                    shard.put_many(bucket)
 
     def replay_put(self, addr: bytes, value: bytes) -> bool:
         """A crash-recovery replay write (Section 4.3, per shard).
@@ -148,11 +162,12 @@ class ShardedCole(StorageBackend):
         block a shard already holds durably are dropped here.  Returns
         True when the put was applied.
         """
-        shard = self._shard_for(addr)
-        if self.current_blk <= shard.checkpoint_blk:
-            return False
-        shard.put(addr, value)
-        return True
+        with self.gate.exclusive():
+            shard = self._shard_for(addr)
+            if self.current_blk <= shard.checkpoint_blk:
+                return False
+            shard.put(addr, value)
+            return True
 
     # =========================================================================
     # read path
@@ -168,11 +183,28 @@ class ShardedCole(StorageBackend):
 
     def prov_query(self, addr: bytes, blk_low: int, blk_high: int) -> ShardedProvenanceResult:
         """Historical values of ``addr`` with a composite-root-anchored proof."""
-        index = shard_of(addr, len(self.shards))
-        inner = self.shards[index].prov_query(addr, blk_low, blk_high)
-        return ShardedProvenanceResult(
-            shard_index=index, shard_roots=self.shard_roots(), result=inner
-        )
+        result, _root = self.prov_query_anchored(addr, blk_low, blk_high)
+        return result
+
+    def prov_query_anchored(
+        self, addr: bytes, blk_low: int, blk_high: int
+    ) -> Tuple[ShardedProvenanceResult, Digest]:
+        """:meth:`prov_query` plus the composite ``Hstate`` it verifies
+        against.
+
+        Holds the top-level gate shared: the inner proof and the
+        shard-root vector it anchors to must describe the same instant,
+        which any concurrent *mutation* (exclusive on this gate) would
+        break — while concurrent queries remain free to overlap.
+        """
+        with self.gate.shared():
+            index = shard_of(addr, len(self.shards))
+            inner = self.shards[index].prov_query(addr, blk_low, blk_high)
+            roots = self._shard_roots()
+            result = ShardedProvenanceResult(
+                shard_index=index, shard_roots=roots, result=inner
+            )
+            return result, hash_concat(roots)
 
     # =========================================================================
     # composite root (Hstate)
@@ -180,11 +212,16 @@ class ShardedCole(StorageBackend):
 
     def shard_roots(self) -> List[Digest]:
         """Ordered per-shard ``Hstate`` digests (the composite preimage)."""
+        with self.gate.shared():
+            return self._shard_roots()
+
+    def _shard_roots(self) -> List[Digest]:
         return [shard.root_digest() for shard in self.shards]
 
     def root_digest(self) -> Digest:
         """Composite ``Hstate``: the hash over the ordered shard roots."""
-        return hash_concat(self.shard_roots())
+        with self.gate.shared():
+            return hash_concat(self._shard_roots())
 
     # =========================================================================
     # accounting / lifecycle
@@ -215,14 +252,17 @@ class ShardedCole(StorageBackend):
 
     def rewind_to(self, target_blk: int) -> int:
         """Discard every version newer than ``target_blk`` on every shard."""
-        if len(self.shards) == 1:
-            dropped = self.shards[0].rewind_to(target_blk)
-        else:
-            dropped = sum(
-                self._pool.map(lambda shard: shard.rewind_to(target_blk), self.shards)
-            )
-        self.current_blk = min(self.current_blk, target_blk)
-        return dropped
+        with self.gate.exclusive():
+            if len(self.shards) == 1:
+                dropped = self.shards[0].rewind_to(target_blk)
+            else:
+                dropped = sum(
+                    self._pool.map(
+                        lambda shard: shard.rewind_to(target_blk), self.shards
+                    )
+                )
+            self.current_blk = min(self.current_blk, target_blk)
+            return dropped
 
     def close(self) -> None:
         """Join merges, stop the commit pool, and close every shard."""

@@ -5,7 +5,6 @@ agree with a plain dict (latest values), a per-address version log
 (provenance), and its own synchronous twin (async determinism).
 """
 
-import random
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 

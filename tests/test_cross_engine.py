@@ -8,7 +8,6 @@ integration check the reproduction has.
 
 import random
 
-import pytest
 
 from repro.baselines import CMIStorage, LIPPStorage, MPTStorage
 from repro.chain import BlockExecutor

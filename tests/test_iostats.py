@@ -65,3 +65,38 @@ def test_thread_safety_under_contention():
         thread.join()
     assert stats.page_reads["t"] == 4000
     assert stats.page_writes["t"] == 4000
+
+
+def test_total_is_consistent_under_concurrent_recording():
+    """``total`` sums reads and writes under ONE lock acquisition.
+
+    Recorders always bump a read and a write together, so any total
+    observed mid-run must be even; the old two-acquisition
+    implementation let a recorder land between the two sums.
+    """
+    stats = IOStats()
+    stop = threading.Event()
+    odd_totals = []
+
+    def observe():
+        while not stop.is_set():
+            if stats.total % 2 != 0:
+                odd_totals.append(stats.total)
+
+    def record():
+        for _ in range(20_000):
+            with stats._lock:
+                stats.page_reads["t"] += 1
+                stats.page_writes["t"] += 1
+
+    observer = threading.Thread(target=observe)
+    recorders = [threading.Thread(target=record) for _ in range(2)]
+    observer.start()
+    for thread in recorders:
+        thread.start()
+    for thread in recorders:
+        thread.join()
+    stop.set()
+    observer.join()
+    assert not odd_totals, f"torn totals observed: {odd_totals[:5]}"
+    assert stats.total == 80_000

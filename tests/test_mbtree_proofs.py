@@ -1,6 +1,5 @@
 """Tests for MB-tree authenticated range proofs."""
 
-import random
 
 import pytest
 from hypothesis import given, settings, strategies as st

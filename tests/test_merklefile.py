@@ -9,7 +9,6 @@ from repro.core.merklefile import (
     MerkleFileBuilder,
     build_merkle_file,
     layer_sizes,
-    leaf_hash,
     verify_range_proof,
 )
 from repro.diskio.pagefile import PagedFile

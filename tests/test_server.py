@@ -1,0 +1,497 @@
+"""Tests for the serving layer: protocol, cache, batcher, server, client.
+
+The end-to-end tests drive a real :class:`ColeServer` over real TCP
+sockets; ``asyncio.run`` hosts each scenario since the suite has no
+async plugin.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.common.errors import StorageError
+from repro.common.params import ColeParams, ShardParams, SystemParams
+from repro.core import Cole, verify_provenance
+from repro.server import (
+    LoadgenParams,
+    ServerClient,
+    ServerConfig,
+    ServerThread,
+    VersionedReadCache,
+    client_ops,
+    replay_writes,
+    run_loadgen,
+)
+from repro.server import protocol
+from repro.server.loadgen import key_addr
+from repro.server.protocol import Op, RootInfo
+from repro.sharding import ShardedCole, verify_sharded_provenance
+
+ADDR = 20
+VALUE = 24
+PARAMS = ColeParams(
+    system=SystemParams(addr_size=ADDR, value_size=VALUE),
+    mem_capacity=64,
+    size_ratio=2,
+    async_merge=True,
+)
+
+
+def addr_of(n: int) -> bytes:
+    return n.to_bytes(4, "big") * 5
+
+
+def value_of(n: int) -> bytes:
+    return n.to_bytes(4, "big") * 6
+
+
+# =============================================================================
+# protocol framing
+# =============================================================================
+
+def test_protocol_request_round_trips():
+    cases = [
+        (protocol.encode_put(b"a" * ADDR, b"v" * VALUE), Op.PUT,
+         (b"a" * ADDR, b"v" * VALUE)),
+        (protocol.encode_get(b"a" * ADDR), Op.GET, (b"a" * ADDR,)),
+        (protocol.encode_get_at(b"a" * ADDR, 7), Op.GET_AT, (b"a" * ADDR, 7)),
+        (protocol.encode_prov(b"a" * ADDR, 2, 9), Op.PROV, (b"a" * ADDR, 2, 9)),
+        (protocol.encode_simple(Op.ROOT), Op.ROOT, ()),
+        (protocol.encode_simple(Op.STATS), Op.STATS, ()),
+        (protocol.encode_simple(Op.FLUSH), Op.FLUSH, ()),
+    ]
+    for frame, want_op, want_args in cases:
+        body = frame[4:]  # strip the length prefix
+        assert len(frame) - 4 == int.from_bytes(frame[:4], "big")
+        op, args = protocol.decode_request(body)
+        assert (op, args) == (want_op, want_args)
+
+
+def test_protocol_response_round_trips():
+    assert protocol.decode_value_response(
+        protocol.encode_value_response(b"xyz")[4:]
+    ) == b"xyz"
+    assert protocol.decode_value_response(protocol.encode_not_found()[4:]) is None
+    assert protocol.decode_height_response(
+        protocol.encode_height_response(41)[4:]
+    ) == 41
+    info = RootInfo(digest=b"d" * 32, version=5, height=12)
+    assert protocol.decode_root_response(
+        protocol.encode_root_response(info)[4:]
+    ) == info
+    with pytest.raises(StorageError, match="boom"):
+        protocol.decode_value_response(protocol.encode_error("boom")[4:])
+
+
+def test_protocol_rejects_garbage():
+    with pytest.raises(StorageError):
+        protocol.decode_request(bytes([99]))
+    with pytest.raises(StorageError):
+        protocol.decode_request(protocol.encode_put(b"a" * ADDR, b"v")[4:-1])
+
+
+# =============================================================================
+# versioned read cache
+# =============================================================================
+
+def test_cache_hit_requires_matching_version():
+    cache = VersionedReadCache(capacity=8)
+    cache.put(b"k", 1, b"v1")
+    assert cache.get(b"k", 1) == (True, b"v1")
+    # A commit bumps the epoch: the entry no longer answers.
+    assert cache.get(b"k", 2) == (False, None)
+    # And the stale entry was lazily evicted.
+    assert len(cache) == 0
+
+
+def test_cache_stores_negative_answers():
+    cache = VersionedReadCache(capacity=8)
+    cache.put(b"k", 3, None)
+    assert cache.get(b"k", 3) == (True, None)
+    assert cache.hits == 1
+
+
+def test_cache_lru_eviction():
+    cache = VersionedReadCache(capacity=2)
+    cache.put(b"a", 1, b"1")
+    cache.put(b"b", 1, b"2")
+    cache.get(b"a", 1)  # refresh a
+    cache.put(b"c", 1, b"3")  # evicts b
+    assert cache.get(b"b", 1) == (False, None)
+    assert cache.get(b"a", 1) == (True, b"1")
+    assert cache.get(b"c", 1) == (True, b"3")
+
+
+def test_cache_hit_rate():
+    cache = VersionedReadCache(capacity=8)
+    assert cache.hit_rate == 0.0
+    cache.put(b"k", 1, b"v")
+    cache.get(b"k", 1)
+    cache.get(b"x", 1)
+    assert cache.hit_rate == 0.5
+
+
+# =============================================================================
+# server end-to-end (real sockets)
+# =============================================================================
+
+def serve(engine, **config_kwargs):
+    """Context manager: engine behind a ColeServer on a loop thread."""
+    return ServerThread(engine, config=ServerConfig(**config_kwargs))
+
+
+def test_put_get_read_your_writes(tmp_path):
+    engine = Cole(str(tmp_path / "ws"), PARAMS)
+
+    async def scenario(host, port):
+        async with ServerClient(host, port) as client:
+            assert await client.get(addr_of(1)) is None
+            height = await client.put(addr_of(1), value_of(1))
+            assert height >= 1
+            # Buffered write is visible before any commit (overlay).
+            assert await client.get(addr_of(1)) == value_of(1)
+            info = await client.flush()
+            assert info.height == height
+            # Committed write is visible after the overlay is gone.
+            assert await client.get(addr_of(1)) == value_of(1)
+            assert await client.get(addr_of(2)) is None
+
+    with serve(engine, batch_max_puts=1000, batch_max_delay=60.0) as thread:
+        asyncio.run(scenario(*thread.start()))
+    engine.close()
+
+
+def test_group_commit_coalesces_and_size_flushes(tmp_path):
+    engine = Cole(str(tmp_path / "ws"), PARAMS)
+
+    async def scenario(host, port):
+        async with ServerClient(host, port) as client:
+            for n in range(40):
+                await client.put(addr_of(n), value_of(n))
+            await client.flush()
+            stats = await client.stats()
+            batcher = stats["batcher"]
+            assert batcher["batched_puts"] == 40
+            # 40 puts at threshold 16: at least two size-triggered flushes,
+            # each block carrying many puts.
+            assert batcher["size_flushes"] >= 2
+            assert batcher["avg_batch"] > 4.0
+            assert stats["engine"]["puts_total"] == 40
+
+    with serve(engine, batch_max_puts=16, batch_max_delay=60.0) as thread:
+        asyncio.run(scenario(*thread.start()))
+    engine.close()
+
+
+def test_timer_flush_commits_without_reaching_size(tmp_path):
+    engine = Cole(str(tmp_path / "ws"), PARAMS)
+
+    async def scenario(host, port):
+        async with ServerClient(host, port) as client:
+            await client.put(addr_of(7), value_of(7))
+            deadline = asyncio.get_running_loop().time() + 5.0
+            while True:
+                stats = await client.stats()
+                if stats["batcher"]["commits"] >= 1:
+                    break
+                assert asyncio.get_running_loop().time() < deadline, (
+                    "timer flush never fired"
+                )
+                await asyncio.sleep(0.01)
+            assert stats["batcher"]["timer_flushes"] >= 1
+            assert await client.get(addr_of(7)) == value_of(7)
+
+    with serve(engine, batch_max_puts=1000, batch_max_delay=0.02) as thread:
+        asyncio.run(scenario(*thread.start()))
+    engine.close()
+
+
+def test_cache_serves_hot_reads_and_invalidates_on_commit(tmp_path):
+    engine = Cole(str(tmp_path / "ws"), PARAMS)
+
+    async def scenario(host, port):
+        async with ServerClient(host, port) as client:
+            await client.put(addr_of(1), value_of(1))
+            await client.flush()
+            for _ in range(5):
+                assert await client.get(addr_of(1)) == value_of(1)
+            stats = await client.stats()
+            assert stats["cache"]["hits"] >= 4
+            # Overwrite: the next read must see the new value, never the
+            # cached pre-commit answer.
+            await client.put(addr_of(1), value_of(2))
+            assert await client.get(addr_of(1)) == value_of(2)  # overlay
+            await client.flush()
+            assert await client.get(addr_of(1)) == value_of(2)  # engine/cache
+            stats = await client.stats()
+            assert stats["version"] == 2
+
+    with serve(engine, batch_max_puts=1000, batch_max_delay=60.0) as thread:
+        asyncio.run(scenario(*thread.start()))
+    engine.close()
+
+
+def test_get_at_history_through_server(tmp_path):
+    engine = Cole(str(tmp_path / "ws"), PARAMS)
+
+    async def scenario(host, port):
+        async with ServerClient(host, port) as client:
+            heights = []
+            for round_no in range(3):
+                heights.append(await client.put(addr_of(5), value_of(round_no)))
+                await client.flush()
+            for round_no, height in enumerate(heights):
+                assert await client.get_at(addr_of(5), height) == value_of(round_no)
+            assert await client.get_at(addr_of(5), heights[0] - 1) is None
+            # A buffered (uncommitted) write answers get_at for its own
+            # target height and beyond.
+            target = await client.put(addr_of(5), value_of(9))
+            assert await client.get_at(addr_of(5), target) == value_of(9)
+            assert await client.get_at(addr_of(5), target - 1) == value_of(2)
+
+    with serve(engine, batch_max_puts=1000, batch_max_delay=60.0) as thread:
+        asyncio.run(scenario(*thread.start()))
+    engine.close()
+
+
+def test_prov_over_the_wire_verifies(tmp_path):
+    engine = Cole(str(tmp_path / "ws"), PARAMS)
+
+    async def scenario(host, port):
+        async with ServerClient(host, port) as client:
+            for round_no in range(4):
+                await client.put(addr_of(3), value_of(round_no))
+                await client.flush()
+            info = await client.root()
+            result, root = await client.prov(addr_of(3), 1, info.height)
+            assert root == info.digest
+            versions = verify_provenance(result, root, addr_size=ADDR)
+            assert [value for _blk, value in versions] == [
+                value_of(n) for n in range(4)
+            ]
+            # PROV forces the buffered batch in before anchoring.
+            await client.put(addr_of(3), value_of(8))
+            result, root = await client.prov(addr_of(3), 1, info.height + 1)
+            versions = verify_provenance(result, root, addr_size=ADDR)
+            assert versions[-1][1] == value_of(8)
+
+    with serve(engine, batch_max_puts=1000, batch_max_delay=60.0) as thread:
+        asyncio.run(scenario(*thread.start()))
+    engine.close()
+
+
+def test_sharded_prov_over_the_wire_verifies(tmp_path):
+    engine = ShardedCole(
+        str(tmp_path / "ws"), ShardParams(cole=PARAMS, num_shards=3)
+    )
+
+    async def scenario(host, port):
+        async with ServerClient(host, port) as client:
+            for round_no in range(3):
+                for n in range(6):
+                    await client.put(addr_of(n), value_of(round_no * 10 + n))
+                await client.flush()
+            info = await client.root()
+            for n in range(6):
+                result, root = await client.prov(addr_of(n), 1, info.height)
+                assert root == info.digest
+                versions = verify_sharded_provenance(result, root, addr_size=ADDR)
+                assert versions[-1][1] == value_of(20 + n)
+
+    with serve(engine, batch_max_puts=1000, batch_max_delay=60.0) as thread:
+        asyncio.run(scenario(*thread.start()))
+    engine.close()
+
+
+def test_malformed_write_reports_error_and_serving_continues(tmp_path):
+    engine = Cole(str(tmp_path / "ws"), PARAMS)
+
+    async def scenario(host, port):
+        async with ServerClient(host, port) as client:
+            await client.put(addr_of(1), value_of(1))
+            with pytest.raises(StorageError, match="address must be"):
+                await client.put(b"short", value_of(1))
+                await client.flush()
+            # The failed batch is gone but the connection still serves.
+            assert await client.get(addr_of(2)) is None
+
+    with serve(engine, batch_max_puts=1000, batch_max_delay=60.0) as thread:
+        asyncio.run(scenario(*thread.start()))
+    engine.close()
+
+
+def test_pipelining_many_inflight_on_one_connection(tmp_path):
+    engine = Cole(str(tmp_path / "ws"), PARAMS)
+
+    async def scenario(host, port):
+        async with ServerClient(host, port, pool_size=1) as client:
+            writes = [client.put(addr_of(n), value_of(n)) for n in range(64)]
+            await asyncio.gather(*writes)
+            await client.flush()
+            reads = [client.get(addr_of(n)) for n in range(64)]
+            values = await asyncio.gather(*reads)
+            assert values == [value_of(n) for n in range(64)]
+
+    with serve(engine, batch_max_puts=32, batch_max_delay=60.0) as thread:
+        asyncio.run(scenario(*thread.start()))
+    engine.close()
+
+
+def test_server_over_reopened_workspace_continues_heights(tmp_path):
+    directory = str(tmp_path / "ws")
+    engine = Cole(directory, PARAMS)
+    for blk in range(1, 6):
+        engine.begin_block(blk)
+        for n in range(32):  # enough volume to cascade (B = 64)
+            engine.put(addr_of(n), value_of(blk))
+        engine.commit_block()
+    engine.close()
+
+    reopened = Cole(directory, PARAMS)
+    assert reopened.checkpoint_blk >= 1  # runs are durable
+
+    async def scenario(host, port):
+        async with ServerClient(host, port) as client:
+            # New writes land strictly above every durable height.
+            height = await client.put(addr_of(1), value_of(99))
+            assert height > reopened.checkpoint_blk
+            await client.flush()
+            assert await client.get(addr_of(1)) == value_of(99)
+
+    with serve(reopened, batch_max_puts=1000, batch_max_delay=60.0) as thread:
+        asyncio.run(scenario(*thread.start()))
+    reopened.close()
+
+
+# =============================================================================
+# the acceptance scenario: >= 32 concurrent clients, byte-identical
+# =============================================================================
+
+def test_service_matches_direct_engine_32_clients(tmp_path):
+    """Mixed YCSB read/write traffic from 32 concurrent clients over TCP
+    must leave exactly the state a direct in-process run produces."""
+    cole = ColeParams(
+        system=SystemParams(addr_size=32, value_size=40),
+        mem_capacity=128,
+        size_ratio=3,
+        async_merge=True,
+    )
+    served = ShardedCole(
+        str(tmp_path / "served"), ShardParams(cole=cole, num_shards=2)
+    )
+    params = LoadgenParams(
+        clients=32, ops_per_client=40, num_keys=400, read_fraction=0.5, seed=13
+    )
+
+    async def scenario(host, port):
+        report = await run_loadgen(host, port, params)
+        assert report.errors == 0
+        assert report.ops == params.clients * params.ops_per_client
+        # The cache saw real traffic and served some of it.
+        assert report.server_stats["cache"]["hits"] > 0
+        assert report.server_stats["batcher"]["avg_batch"] > 1.0
+        # Compare every key byte-for-byte against the direct run.
+        direct = ShardedCole(
+            str(tmp_path / "direct"), ShardParams(cole=cole, num_shards=2)
+        )
+        try:
+            replay_writes(direct, params)
+            async with ServerClient(host, port, pool_size=4) as client:
+                for rank in range(params.num_keys):
+                    addr = key_addr(rank, params.addr_size)
+                    assert await client.get(addr) == direct.get(addr), rank
+        finally:
+            direct.close()
+
+    with serve(served, batch_max_puts=256, batch_max_delay=0.004) as thread:
+        asyncio.run(scenario(*thread.start()))
+    served.close()
+
+
+def test_loadgen_streams_are_deterministic_and_partitioned():
+    params = LoadgenParams(clients=4, ops_per_client=50, num_keys=64, seed=5)
+    streams = [client_ops(params, cid) for cid in range(params.clients)]
+    again = [client_ops(params, cid) for cid in range(params.clients)]
+    assert streams == again
+    # Write partitioning: no address is written by two clients.
+    writers = {}
+    for cid, stream in enumerate(streams):
+        for kind, addr, _value in stream:
+            if kind == "put":
+                assert writers.setdefault(addr, cid) == cid
+    assert writers  # the mix produced writes at all
+
+
+def test_more_clients_than_keys_keeps_single_writer():
+    params = LoadgenParams(clients=40, ops_per_client=30, num_keys=16, seed=9)
+    writers = {}
+    for cid in range(params.clients):
+        for kind, addr, _value in client_ops(params, cid):
+            if kind == "put":
+                assert writers.setdefault(addr, cid) == cid
+    # Clients with an empty partition degraded to reads, not to writing
+    # someone else's keys.
+    assert len({cid for cid in writers.values()}) <= params.num_keys
+
+
+def test_open_loop_loadgen_runs(tmp_path):
+    engine = Cole(str(tmp_path / "ws"), PARAMS)
+    params = LoadgenParams(
+        clients=4,
+        ops_per_client=25,
+        num_keys=64,
+        addr_size=ADDR,
+        value_size=VALUE,
+        mode="open",
+        rate=2000.0,
+        seed=3,
+    )
+
+    async def scenario(host, port):
+        report = await run_loadgen(host, port, params)
+        assert report.errors == 0
+        assert report.ops == 100
+        assert report.mode == "open"
+        assert len(report.latencies) == 100
+
+    with serve(engine, batch_max_puts=64, batch_max_delay=0.005) as thread:
+        asyncio.run(scenario(*thread.start()))
+    engine.close()
+
+
+def test_stats_op_shape(tmp_path):
+    engine = Cole(str(tmp_path / "ws"), PARAMS)
+
+    async def scenario(host, port):
+        async with ServerClient(host, port) as client:
+            await client.put(addr_of(1), value_of(1))
+            await client.flush()
+            await client.get(addr_of(1))
+            stats = await client.stats()
+            assert stats["ops"]["put"] == 1
+            assert stats["ops"]["get"] == 1
+            assert stats["engine"]["shards"] == 1
+            assert stats["committed_height"] == 1
+            assert set(stats["cache"]) == {
+                "hits", "misses", "hit_rate", "entries", "capacity",
+            }
+            assert "page_reads" in stats["io"]
+
+    with serve(engine, batch_max_puts=1000, batch_max_delay=60.0) as thread:
+        asyncio.run(scenario(*thread.start()))
+    engine.close()
+
+
+def test_server_config_validation():
+    with pytest.raises(ValueError):
+        ServerConfig(batch_max_puts=0)
+    with pytest.raises(ValueError):
+        ServerConfig(batch_max_delay=0)
+    with pytest.raises(ValueError):
+        ServerConfig(executor_workers=0)
+    with pytest.raises(ValueError):
+        LoadgenParams(mode="sideways")
+    with pytest.raises(ValueError):
+        LoadgenParams(mode="open", rate=0)
+    with pytest.raises(ValueError):
+        VersionedReadCache(capacity=0)
