@@ -1,0 +1,60 @@
+"""Figure 18 (extension): the cost of durable acknowledgements.
+
+Not a paper figure — the durability experiment of this reproduction's
+WAL layer (``repro.wal``).  The same write-heavy closed-loop workload
+drives a served sharded engine under four configurations: no WAL,
+page-cache-only acks (``none``), group-fsynced acks (``batch``), and an
+fsync per ack (``always``).  Expected shape: ``none`` tracks ``off``
+closely (the WAL append is one unbuffered write), ``batch`` stays within
+the same small factor of ``off`` because one fsync covers a whole wave
+of concurrent acks, and ``always`` falls far behind — the gap between
+``batch`` and ``always`` *is* the group commit win.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_durability
+from repro.bench.report import format_rate, format_seconds, format_table
+
+POLICIES = ("off", "none", "batch", "always")
+
+
+def test_fig18_durability(benchmark, series):
+    rows = run_once(
+        benchmark,
+        run_durability,
+        policies=POLICIES,
+        clients=32,
+        ops_per_client=200,
+        repeats=2,
+    )
+    series("\nFigure 18 — durability: throughput and latency per fsync policy")
+    series(
+        format_table(
+            ["policy", "ops", "ops/s", "p50", "p99", "fsyncs", "syncs/put"],
+            [
+                [
+                    row["policy"],
+                    row["ops"],
+                    format_rate(row["ops_per_s"], 1.0),
+                    format_seconds(row["p50_s"]),
+                    format_seconds(row["p99_s"]),
+                    row["wal_syncs"],
+                    f"{row['syncs_per_put']:.3f}",
+                ]
+                for row in rows
+            ],
+        )
+    )
+    by_policy = {row["policy"]: row for row in rows}
+    # Every op completed under every policy.
+    assert all(row["errors"] == 0 for row in rows)
+    # Group commit amortizes: far fewer fsyncs than acked puts.
+    assert by_policy["batch"]["syncs_per_put"] < 0.5
+    # The acceptance bound: batched-fsync durability costs at most 2x.
+    assert by_policy["batch"]["ops_per_s"] >= 0.5 * by_policy["off"]["ops_per_s"]
+    # Strict per-ack fsync pays more than the batched policy does.
+    assert (
+        by_policy["always"]["syncs_per_put"]
+        > by_policy["batch"]["syncs_per_put"]
+    )

@@ -1,0 +1,121 @@
+"""The CI throughput-regression gate.
+
+Compares a fresh ``smoke_bench.py`` JSON against the checked-in baseline
+(``benchmarks/baselines/smoke.json``) and fails when any tracked
+throughput fell below ``baseline * (1 - tolerance)``.  Improvements and
+in-band noise pass; only a real regression (default: >30% below the
+baseline floor) turns the build red.
+
+The baseline records *floors*, set conservatively below typical runner
+numbers so hardware variance between CI generations does not flake the
+gate; refreshing it is a deliberate act (see DESIGN.md, "Refreshing the
+benchmark baseline")::
+
+    PYTHONPATH=src python benchmarks/smoke_bench.py smoke-bench.json
+    python benchmarks/check_regression.py smoke-bench.json \
+        benchmarks/baselines/smoke.json --update
+
+Usage (the gate)::
+
+    python benchmarks/check_regression.py smoke-bench.json \
+        benchmarks/baselines/smoke.json [--tolerance 0.30]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: section -> (row key column, throughput metric column)
+TRACKED = {
+    "sharding": ("shards", "puts_per_s"),
+    "service": ("clients", "ops_per_s"),
+    "durability": ("policy", "ops_per_s"),
+}
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def index_rows(rows, key_column):
+    return {str(row[key_column]): row for row in rows}
+
+
+def compare(current, baseline, tolerance):
+    """Yield (label, current, floor, ok) for every tracked metric."""
+    for section, (key_column, metric) in TRACKED.items():
+        if section not in baseline:
+            continue
+        base_rows = index_rows(baseline[section], key_column)
+        cur_rows = index_rows(current.get(section, []), key_column)
+        for key, base_row in base_rows.items():
+            label = f"{section}[{key_column}={key}].{metric}"
+            floor = base_row[metric] * (1.0 - tolerance)
+            cur_row = cur_rows.get(key)
+            if cur_row is None:
+                yield label, None, floor, False
+                continue
+            value = cur_row[metric]
+            yield label, value, floor, value >= floor
+
+
+def update_baseline(current, path, headroom=0.5):
+    """Write the baseline as ``current * headroom`` throughput floors."""
+    trimmed = {}
+    for section, (key_column, metric) in TRACKED.items():
+        trimmed[section] = [
+            {key_column: row[key_column], metric: row[metric] * headroom}
+            for row in current.get(section, [])
+        ]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trimmed, handle, indent=2)
+        handle.write("\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="fresh smoke_bench.py JSON")
+    parser.add_argument("baseline", help="checked-in baseline JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fraction below the baseline (default 0.30)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from the current results and exit",
+    )
+    parser.add_argument(
+        "--headroom",
+        type=float,
+        default=0.5,
+        help="baseline = current * headroom when updating (default 0.5)",
+    )
+    args = parser.parse_args(argv)
+    current = load(args.current)
+    if args.update:
+        update_baseline(current, args.baseline, args.headroom)
+        print(f"baseline refreshed: {args.baseline} (headroom {args.headroom})")
+        return 0
+    baseline = load(args.baseline)
+    failures = 0
+    for label, value, floor, ok in compare(current, baseline, args.tolerance):
+        shown = f"{value:12.1f}" if value is not None else "     missing"
+        verdict = "ok" if ok else "REGRESSION"
+        print(f"{label:45s} {shown}  (floor {floor:10.1f})  {verdict}")
+        if not ok:
+            failures += 1
+    if failures:
+        print(f"\n{failures} tracked metric(s) regressed beyond tolerance")
+        return 1
+    print("\nall tracked metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Reduced-scale smoke benchmarks feeding the CI regression gate.
+
+Runs the sharding, service, and durability experiments at a scale sized
+for a CI minute, prints their series, and writes one JSON file that
+``check_regression.py`` compares against ``baselines/smoke.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_bench.py [out.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.bench.experiments import (
+    run_durability,
+    run_service_throughput,
+    run_sharding_scalability,
+)
+from repro.bench.report import format_table
+
+
+def main(argv) -> int:
+    out_path = argv[1] if len(argv) > 1 else "smoke-bench.json"
+    sharding = run_sharding_scalability(shard_counts=(1, 2), blocks=40, repeats=1)
+    service = run_service_throughput(
+        client_counts=(1, 8), ops_per_client=100, num_keys=512
+    )
+    durability = run_durability(
+        policies=("off", "batch"), clients=8, ops_per_client=100, num_keys=512
+    )
+    for name, rows in (
+        ("sharding", sharding),
+        ("service", service),
+        ("durability", durability),
+    ):
+        print(f"\n-- {name} --")
+        print(
+            format_table(
+                list(rows[0]), [[row.get(k, "") for k in rows[0]] for row in rows]
+            )
+        )
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {"sharding": sharding, "service": service, "durability": durability},
+            handle,
+            indent=2,
+        )
+    print(f"\nwrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

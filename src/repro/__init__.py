@@ -12,8 +12,9 @@ EXPERIMENTS.md for measured reproductions of every table and figure.
 from repro.common.params import ColeParams, ShardParams, SystemParams
 from repro.core import Cole, CompoundKey, verify_provenance
 from repro.sharding import ShardedCole, verify_sharded_provenance
+from repro.wal import WriteAheadLog, replay_wal, restore_store, snapshot_store
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Cole",
@@ -24,5 +25,9 @@ __all__ = [
     "CompoundKey",
     "verify_provenance",
     "verify_sharded_provenance",
+    "WriteAheadLog",
+    "replay_wal",
+    "snapshot_store",
+    "restore_store",
     "__version__",
 ]

@@ -488,6 +488,116 @@ def run_service_throughput(
 
 
 # =============================================================================
+# Figure 18 (extension): durability cost — WAL fsync policies
+# =============================================================================
+
+def run_durability(
+    policies: Sequence[str] = ("off", "none", "batch", "always"),
+    clients: int = 16,
+    ops_per_client: int = 150,
+    num_keys: int = 1024,
+    read_fraction: float = 0.1,
+    num_shards: int = 2,
+    mem_capacity: int = 512,
+    batch_puts: int = 256,
+    batch_delay_s: float = 0.004,
+    seed: int = 7,
+    repeats: int = 1,
+) -> List[Row]:
+    """Figure 18 (new): what durable acks cost, per fsync policy.
+
+    The same write-heavy closed-loop workload drives a served sharded
+    engine once per policy: ``off`` (no WAL — PR 2's volatile serving),
+    ``none`` (records reach the OS page cache before the ack), ``batch``
+    (acks wait for a group fsync; many acks amortize one fsync — the
+    production default), and ``always`` (an fsync per ack — the strict
+    floor).  Reported per point: throughput, p50/p99 latency, and the
+    fsyncs-per-acked-put ratio that explains the ordering.  The headline
+    claim is ``batch`` staying within ~2x of ``off`` while ``always``
+    pays the full per-op fsync.
+
+    ``repeats`` runs each policy that many times (interleaved, like the
+    fig16 sweep) and keeps the best-throughput row per policy — scheduler
+    and fsync-latency noise hits a single run hard.
+    """
+    from repro.bench.harness import BENCH_SYSTEM
+    from repro.bench.report import percentile
+    from repro.server import (
+        LoadgenParams,
+        ServerConfig,
+        ServerThread,
+        run_loadgen_sync,
+    )
+    from repro.wal import WriteAheadLog
+
+    def run_policy(policy: str) -> Row:
+        directory = fresh_dir()
+        backend = make_engine(
+            "cole-shard",
+            directory,
+            cole_overrides={"num_shards": num_shards, "mem_capacity": mem_capacity},
+        )
+        wal = None
+        try:
+            if policy != "off":
+                import os
+
+                wal = WriteAheadLog(
+                    os.path.join(directory, "wal"),
+                    num_shards=num_shards,
+                    sync_policy=policy,
+                )
+            config = ServerConfig(
+                batch_max_puts=batch_puts, batch_max_delay=batch_delay_s
+            )
+            with ServerThread(backend, config=config, wal=wal) as thread:
+                params = LoadgenParams(
+                    clients=clients,
+                    ops_per_client=ops_per_client,
+                    read_fraction=read_fraction,
+                    num_keys=num_keys,
+                    addr_size=BENCH_SYSTEM.addr_size,
+                    value_size=BENCH_SYSTEM.value_size,
+                    seed=seed,
+                )
+                report = run_loadgen_sync(
+                    thread.server.host, thread.server.port, params
+                )
+            backend.wait_for_merges()
+            wal_stats = report.server_stats.get("wal", {})
+            puts = wal_stats.get("puts_appended", 0)
+            return {
+                "policy": policy,
+                "ops": report.ops,
+                "errors": report.errors,
+                "ops_per_s": report.throughput,
+                "p50_s": percentile(report.latencies, 0.5),
+                "p99_s": percentile(report.latencies, 0.99),
+                "wal_syncs": wal_stats.get("syncs", 0),
+                "wal_mb": wal_stats.get("bytes_appended", 0) / 1e6,
+                "syncs_per_put": (
+                    wal_stats.get("syncs", 0) / puts if puts else 0.0
+                ),
+            }
+        finally:
+            if wal is not None:
+                wal.close()
+            cleanup(backend, directory)
+
+    best: Dict[str, Row] = {}
+    total_errors: Dict[str, int] = {}
+    for _ in range(max(1, repeats)):
+        for policy in policies:
+            row = run_policy(policy)
+            total_errors[policy] = total_errors.get(policy, 0) + int(row["errors"])
+            if policy not in best or row["ops_per_s"] > best[policy]["ops_per_s"]:
+                best[policy] = row
+    for policy, row in best.items():
+        row["errors"] = total_errors[policy]  # an error in any repeat shows
+    return [best[policy] for policy in policies]
+
+
+# =============================================================================
 # Table 1: empirical complexity comparison
 # =============================================================================
 

@@ -1,12 +1,14 @@
-"""Command-line interface: inspect workspaces, run experiments, serve.
+"""Command-line interface: inspect, experiment, serve, snapshot, restore.
 
 Usage (after ``pip install -e .``)::
 
     python -m repro.cli info /path/to/cole-workspace
     python -m repro.cli experiment fig9 [--heights 30,100] [--engines mpt,cole]
     python -m repro.cli experiment table1
-    python -m repro.cli serve /path/to/workspace --port 7407 [--shards 4]
+    python -m repro.cli serve /path/to/workspace --port 7407 [--shards 4] [--wal]
     python -m repro.cli loadgen --port 7407 --clients 32 --ops 200
+    python -m repro.cli snapshot /path/to/workspace /path/to/snapshot
+    python -m repro.cli restore /path/to/snapshot /path/to/new-workspace
 """
 
 from __future__ import annotations
@@ -28,9 +30,73 @@ _EXPERIMENTS = {
     "fig15": ("run_mht_fanout", {}),
     "fig16": ("run_sharding_scalability", {}),
     "fig17": ("run_service_throughput", {}),
+    "fig18": ("run_durability", {}),
     "table1": ("run_complexity_table", {}),
     "index-share": ("run_index_share", {}),
 }
+
+#: Default WAL directory inside a workspace (a sibling of the shard /
+#: run files; engine recovery ignores subdirectories).
+WAL_DIRNAME = "wal"
+
+def _lock_workspace(workspace: str, purpose: str):
+    """Take the workspace's advisory lock; returns the held file handle.
+
+    The flock lives on the inode, so it stays valid for the holder even
+    though engine recovery may unlink a stale lock file.  A held lock in
+    another process aborts with a clear message instead of letting two
+    uncoordinated writers rewrite one manifest.
+    """
+    import fcntl
+    import os
+
+    from repro.core.storage import WORKSPACE_LOCK_NAME
+
+    os.makedirs(workspace, exist_ok=True)
+    handle = open(os.path.join(workspace, WORKSPACE_LOCK_NAME), "w")
+    try:
+        fcntl.flock(handle, fcntl.LOCK_EX | fcntl.LOCK_NB)
+    except OSError:
+        handle.close()
+        raise SystemExit(
+            f"workspace {workspace} is locked by another process "
+            f"(a running `repro serve`?); stop it before running {purpose}"
+        )
+    return handle
+
+
+def _detect_shards(workspace: str) -> int:
+    """Shard count of an existing workspace (1 when single-engine/new).
+
+    Counts ``shard-NN`` subdirectories: the sharded engine creates them
+    eagerly on open, so detection works even before the first cascade
+    writes a manifest.
+    """
+    import os
+
+    if not os.path.isdir(workspace):
+        return 1
+    count = sum(
+        1
+        for name in os.listdir(workspace)
+        if name.startswith("shard-")
+        and os.path.isdir(os.path.join(workspace, name))
+    )
+    return count or 1
+
+
+def _open_engine(workspace: str, num_shards: int, mem_capacity: int = 512):
+    """Open (recovering) the engine serving/snapshotting a workspace."""
+    from repro.common.params import ColeParams, ShardParams
+    from repro.core import Cole
+    from repro.sharding import ShardedCole
+
+    cole_params = ColeParams(async_merge=True, mem_capacity=mem_capacity)
+    if num_shards > 1:
+        return ShardedCole(
+            workspace, ShardParams(cole=cole_params, num_shards=num_shards)
+        )
+    return Cole(workspace, cole_params)
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -49,6 +115,8 @@ def cmd_info(args: argparse.Namespace) -> int:
         for name in shard_dirs:
             print(f"  repro info {os.path.join(args.workspace, name)}")
         return 0
+    from repro.core.run import RUN_SUFFIXES
+
     manifest = load_manifest(args.workspace)
     print(f"workspace:        {args.workspace}")
     print(f"checkpoint block: {manifest.checkpoint_blk}")
@@ -59,7 +127,7 @@ def cmd_info(args: argparse.Namespace) -> int:
         for role, records in groups.items():
             for record in records:
                 size = 0
-                for suffix in (".val", ".idx", ".mrk", ".blm"):
+                for suffix in RUN_SUFFIXES:
                     path = os.path.join(args.workspace, record.name + suffix)
                     if os.path.exists(path):
                         size += os.path.getsize(path)
@@ -103,30 +171,53 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     """Serve a COLE workspace over TCP until interrupted."""
     import asyncio
+    import os
 
-    from repro.common.params import ColeParams, ShardParams
-    from repro.core import Cole
     from repro.server import ColeServer, ServerConfig
-    from repro.sharding import ShardedCole
 
-    cole_params = ColeParams(async_merge=True, mem_capacity=args.mem_capacity)
-    if args.shards > 1:
-        engine = ShardedCole(
-            args.workspace, ShardParams(cole=cole_params, num_shards=args.shards)
+    # --shards 0 (the default) re-opens an existing workspace with the
+    # shard count it was created with — restarting a 4-shard store
+    # without remembering the flag must not serve an empty single-engine
+    # view over its shard directories.
+    num_shards = args.shards or _detect_shards(args.workspace)
+    lock = _lock_workspace(args.workspace, "a second server")
+    engine = _open_engine(args.workspace, num_shards, args.mem_capacity)
+    wal = None
+    if args.wal:
+        from repro.wal import WriteAheadLog
+
+        wal = WriteAheadLog(
+            args.wal_dir or os.path.join(args.workspace, WAL_DIRNAME),
+            num_shards=num_shards,
+            sync_policy=args.wal_sync,
+            segment_max_bytes=args.wal_segment_kb * 1024,
         )
-    else:
-        engine = Cole(args.workspace, cole_params)
     config = ServerConfig(
         batch_max_puts=args.batch_puts,
         batch_max_delay=args.batch_delay_ms / 1000.0,
         cache_capacity=args.cache_capacity,
     )
-    server = ColeServer(engine, host=args.host, port=args.port, config=config)
+    server = ColeServer(
+        engine, host=args.host, port=args.port, config=config, wal=wal
+    )
 
     async def serve() -> None:
         host, port = await server.start()
-        shards = f", {args.shards} shards" if args.shards > 1 else ""
-        print(f"serving {args.workspace} on {host}:{port}{shards} (Ctrl-C stops)")
+        stats = server.replay_stats
+        if stats is not None and stats.replayed_anything:
+            print(
+                f"recovered {stats.puts_replayed} writes in "
+                f"{stats.blocks_replayed} blocks from the WAL "
+                f"(heights {stats.first_height}..{stats.last_height})",
+                flush=True,
+            )
+        shards = f", {num_shards} shards" if num_shards > 1 else ""
+        durability = f", wal={wal.sync_policy}" if wal is not None else ""
+        print(
+            f"serving {args.workspace} on {host}:{port}{shards}{durability} "
+            "(Ctrl-C stops)",
+            flush=True,
+        )
         try:
             await server.serve_forever()
         finally:
@@ -137,7 +228,73 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("\nstopped")
     finally:
+        if wal is not None:
+            wal.close()
         engine.close()
+        lock.close()
+    return 0
+
+
+def cmd_snapshot(args: argparse.Namespace) -> int:
+    """Take a consistent point-in-time snapshot of a workspace.
+
+    Offline by design: the workspace lock aborts the copy when another
+    process (a live ``repro serve``) holds the store — the commit gate
+    only coordinates threads *within* one process.
+    """
+    import os
+
+    from repro.wal import WriteAheadLog, replay_wal, snapshot_store
+
+    num_shards = args.shards or _detect_shards(args.workspace)
+    lock = _lock_workspace(args.workspace, "snapshot")
+    engine = _open_engine(args.workspace, num_shards)
+    wal = None
+    try:
+        wal_dir = os.path.join(args.workspace, WAL_DIRNAME)
+        if os.path.isdir(wal_dir):
+            # Bring the in-memory level back first so the recorded root
+            # digest covers every write the WAL still owes the engine.
+            wal = WriteAheadLog(wal_dir, num_shards=num_shards)
+            replay_wal(engine, wal)
+        meta = snapshot_store(engine, args.dest, wal=wal)
+    finally:
+        if wal is not None:
+            wal.close()
+        engine.close()
+        lock.close()
+    print(f"snapshot:    {args.dest}")
+    print(f"kind:        {meta['kind']} ({meta['num_shards']} shards)")
+    print(f"root digest: {meta['root_digest']}")
+    print(f"files:       {len(meta['files'])}")
+    return 0
+
+
+def cmd_restore(args: argparse.Namespace) -> int:
+    """Restore a snapshot into a fresh workspace and verify its root."""
+    import os
+
+    from repro.wal import WriteAheadLog, replay_wal, restore_store
+
+    meta = restore_store(args.snapshot, args.dest)
+    engine = _open_engine(args.dest, meta["num_shards"])
+    wal = None
+    try:
+        wal_dir = os.path.join(args.dest, WAL_DIRNAME)
+        if meta.get("has_wal") and os.path.isdir(wal_dir):
+            wal = WriteAheadLog(wal_dir, num_shards=meta["num_shards"])
+            replay_wal(engine, wal)
+        root = engine.root_digest().hex()
+    finally:
+        if wal is not None:
+            wal.close()
+        engine.close()
+    print(f"restored:    {args.dest} ({len(meta['files'])} files verified)")
+    print(f"root digest: {root}")
+    if root != meta["root_digest"]:
+        print(f"MISMATCH:    snapshot recorded {meta['root_digest']}")
+        return 1
+    print("root digest matches the snapshot record")
     return 0
 
 
@@ -184,7 +341,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=7407)
     serve.add_argument(
-        "--shards", type=int, default=1, help="shard count (>1 serves a ShardedCole)"
+        "--shards",
+        type=int,
+        default=0,
+        help="shard count (>1 serves a ShardedCole; 0 = auto-detect from "
+        "the workspace, new workspaces default to 1)",
     )
     serve.add_argument(
         "--mem-capacity", type=int, default=512, help="per-shard L0 capacity B"
@@ -199,7 +360,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="group-commit time threshold (milliseconds)",
     )
     serve.add_argument("--cache-capacity", type=int, default=8192)
+    serve.add_argument(
+        "--wal",
+        action="store_true",
+        help="durable serving: write-ahead log + crash recovery",
+    )
+    serve.add_argument(
+        "--wal-dir",
+        default=None,
+        help="WAL directory (default: <workspace>/wal)",
+    )
+    serve.add_argument(
+        "--wal-sync",
+        choices=("none", "batch", "always"),
+        default="batch",
+        help="fsync policy: batch = group fsync per ack wave (default)",
+    )
+    serve.add_argument(
+        "--wal-segment-kb", type=int, default=4096, help="segment roll size"
+    )
     serve.set_defaults(func=cmd_serve)
+
+    snapshot = sub.add_parser(
+        "snapshot", help="consistent point-in-time copy of a workspace"
+    )
+    snapshot.add_argument("workspace", help="source workspace directory")
+    snapshot.add_argument("dest", help="snapshot directory (must be empty)")
+    snapshot.add_argument(
+        "--shards", type=int, default=0, help="shard count (0 = auto-detect)"
+    )
+    snapshot.set_defaults(func=cmd_snapshot)
+
+    restore = sub.add_parser(
+        "restore", help="restore a snapshot into a fresh workspace"
+    )
+    restore.add_argument("snapshot", help="snapshot directory")
+    restore.add_argument("dest", help="new workspace directory (must be empty)")
+    restore.set_defaults(func=cmd_restore)
 
     loadgen = sub.add_parser("loadgen", help="drive a running server with load")
     loadgen.add_argument("--host", default="127.0.0.1")

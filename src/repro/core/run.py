@@ -24,6 +24,11 @@ from repro.diskio.workspace import Workspace
 
 Entry = Tuple[int, bytes]
 
+#: The file suffixes making up one run — the single source of truth for
+#: every layer that enumerates a run's artifacts (recovery, deletion,
+#: size accounting, `repro info`, snapshots).
+RUN_SUFFIXES = (".val", ".idx", ".mrk", ".blm")
+
 
 @dataclass(frozen=True)
 class RunScan:
@@ -139,7 +144,7 @@ class Run:
 
     def delete(self) -> None:
         """Remove all files of this run (after a committed level merge)."""
-        for suffix in (".val", ".idx", ".mrk", ".blm"):
+        for suffix in RUN_SUFFIXES:
             self.workspace.remove_file(self.name + suffix)
 
     # -- authentication -----------------------------------------------------------
@@ -207,7 +212,7 @@ class Run:
     def storage_bytes(self) -> int:
         """On-disk footprint of this run's four artifacts."""
         total = 0
-        for suffix in (".val", ".idx", ".mrk", ".blm"):
+        for suffix in RUN_SUFFIXES:
             path = self.workspace.path_of(self.name + suffix)
             if os.path.exists(path):
                 total += os.path.getsize(path)

@@ -41,9 +41,14 @@ from repro.core.proofs import (
     RunProofItem,
     StubItem,
 )
-from repro.core.run import Run
+from repro.core.run import RUN_SUFFIXES, Run
 from repro.diskio.iostats import IOStats
 from repro.diskio.workspace import Workspace
+
+#: Name of the advisory workspace lock file (held via flock by the CLI's
+#: serve/snapshot commands).  Defined here — next to the recovery code
+#: that must *not* delete it — so the two layers cannot drift apart.
+WORKSPACE_LOCK_NAME = "LOCK"
 
 
 class Cole:
@@ -521,7 +526,10 @@ class Cole:
 
     def _recover(self) -> None:
         manifest = load_manifest(self.workspace.root)
-        known = {"MANIFEST.json"}
+        # The lock is the CLI's advisory workspace guard: not engine
+        # state, but deleting it mid-hold would let a second process
+        # relock a fresh inode and defeat it.
+        known = {"MANIFEST.json", WORKSPACE_LOCK_NAME}
         for paper_level, groups in sorted(manifest.levels.items()):
             level = self._ensure_level(paper_level)
             for role, target in (("writing", level.writing), ("merging", level.merging)):
@@ -536,7 +544,7 @@ class Cole:
                     )
                     target.add(run)
                     known.update(
-                        record.name + suffix for suffix in (".val", ".idx", ".mrk", ".blm")
+                        record.name + suffix for suffix in RUN_SUFFIXES
                     )
         # Discard files of unfinished merges (Section 4.3).
         for name in list(self.workspace.list_files()):
@@ -560,6 +568,15 @@ class Cole:
     def checkpoint_blk(self) -> int:
         """Highest block height durably contained in committed runs."""
         return self._checkpoint_blk
+
+    def shard_checkpoints(self) -> List[int]:
+        """Per-shard durable checkpoints (one entry: the engine itself).
+
+        The WAL layer truncates and replays per shard chain; a
+        single-node engine is the one-shard special case, so both engine
+        shapes answer the same question (`ShardedCole` overrides).
+        """
+        return [self._checkpoint_blk]
 
     def _addr_size(self) -> int:
         return self.params.system.addr_size

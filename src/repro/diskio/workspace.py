@@ -82,8 +82,30 @@ class Workspace:
             handle.close()
 
     def list_files(self) -> Iterator[str]:
-        """Iterate over the names of all files present on disk."""
-        return iter(sorted(os.listdir(self.root)))
+        """Iterate over the names of all regular files present on disk.
+
+        Subdirectories (a co-located WAL, shard workspaces) are not the
+        workspace's to manage — recovery must not try to delete them.
+        """
+        return iter(
+            sorted(
+                name
+                for name in os.listdir(self.root)
+                if os.path.isfile(os.path.join(self.root, name))
+            )
+        )
+
+    def flush_all(self) -> None:
+        """Flush every open handle's buffered pages to the OS.
+
+        After this, a filesystem-level copy of the workspace sees every
+        page the engine has written (the snapshot path relies on it).
+        """
+        with self._files_lock:
+            handles = list(self._open_files.values())
+        for handle in handles:
+            if not handle._closed:
+                handle.flush()
 
     # -- raw (non-paged) artifacts -------------------------------------------
 
@@ -106,11 +128,7 @@ class Workspace:
 
     def storage_bytes(self) -> int:
         """Total on-disk footprint (files plus registered raw artifacts)."""
-        with self._files_lock:
-            handles = list(self._open_files.values())
-        for handle in handles:
-            if not handle._closed:  # flush so getsize sees appended pages
-                handle.flush()
+        self.flush_all()  # so getsize sees appended pages
         total = 0
         for name in os.listdir(self.root):
             path = os.path.join(self.root, name)

@@ -12,6 +12,10 @@ Turns the in-process engine into a service (see DESIGN.md):
 * :class:`ServerClient` — pooled, pipelined asyncio client;
 * :mod:`repro.server.loadgen` — open/closed-loop load generation
   (``repro loadgen`` on the CLI; Figure 17 in the benchmarks).
+
+Attach a :class:`~repro.wal.WriteAheadLog` (``repro serve --wal``) and
+the server becomes durable: PUTs ack only after a group fsync, and the
+WAL tail replays on startup (Figure 18; ``tests/test_durability.py``).
 """
 
 from repro.server.batcher import WriteBatcher

@@ -25,6 +25,23 @@ server's asyncio thread, while the engine commit itself runs on the
 server's thread pool so the loop keeps serving reads during a cascade
 (the engine's :class:`~repro.common.gate.CommitGate` makes those reads
 safe against the checkpoint).
+
+**Durability** (optional): with a :class:`~repro.wal.WriteAheadLog`
+attached, every buffered put is appended to the WAL *before* the server
+acknowledges it — the ack additionally waits for the put's record to be
+durable under the WAL's sync policy (the server's group-fsync path), so
+a crash between ack and group commit loses nothing.  After each commit
+the batcher appends a COMMIT marker and, whenever the engine's durable
+checkpoint advanced, truncates WAL segments the manifest now covers.
+
+One deliberate read-uncommitted window: the overlay publishes a
+buffered write the instant it is logged, while its writer's ack may
+still be waiting on the group fsync.  A *concurrent* reader can thus
+observe a write that a crash in that window erases (its record is in
+the un-synced tail).  The durability contract covers acked writes only;
+deferring visibility to ack time would buy little — the observed value
+was real, its writer just never learned it survived — at the cost of a
+second overlay generation.
 """
 
 from __future__ import annotations
@@ -50,15 +67,21 @@ class WriteBatcher:
         max_delay: float = 0.01,
         run_in_executor: Callable[..., Awaitable],
         on_commit: Optional[Callable[[int, Digest, int], None]] = None,
+        wal=None,
     ) -> None:
         """``run_in_executor(fn, *args)`` awaits ``fn`` off-loop;
         ``on_commit(height, root, batch_size)`` fires after each commit
-        (the server bumps its cache epoch there)."""
+        (the server bumps its cache epoch there); ``wal`` is an optional
+        :class:`~repro.wal.WriteAheadLog` every put is appended to."""
         self.engine = engine
         self.max_batch = max_batch
         self.max_delay = max_delay
         self._run = run_in_executor
         self._on_commit = on_commit
+        self.wal = wal
+        #: LSN of the most recent put's WAL record (ack durability mark).
+        self.last_put_lsn = 0
+        self._wal_truncated_at = min(engine.shard_checkpoints()) if wal else -1
         # The open block: puts buffered here commit at _next_height.
         self._next_height = max(engine.current_blk, engine.checkpoint_blk) + 1
         self._active_items: List[Tuple[bytes, bytes]] = []
@@ -81,12 +104,25 @@ class WriteBatcher:
     # -- write side (event loop only) -----------------------------------------
 
     def put(self, addr: bytes, value: bytes) -> int:
-        """Buffer one put; returns the block height it will commit at."""
+        """Buffer one put; returns the block height it will commit at.
+
+        With a WAL attached, the put's record is appended here — before
+        the caller can ack — and :attr:`last_put_lsn` is the LSN whose
+        durability the ack must wait for (policy-dependent; the server's
+        group syncer handles that).
+        """
         if self._closed:
             raise StorageError("server is shutting down")
+        height = self._next_height
+        # WAL first, buffer second: a failed append must leave nothing
+        # behind — a buffered-but-unlogged put would commit, be served,
+        # and then vanish on recovery.  The reverse ambiguity (logged
+        # but errored to the client) is the standard one: recovery may
+        # resurface a write whose response was lost.
+        if self.wal is not None:
+            self.last_put_lsn = self.wal.append_put(addr, value, height)
         self._active_items.append((addr, value))
         self._active_overlay[addr] = value
-        height = self._next_height
         if len(self._active_items) >= self.max_batch:
             self.size_flushes += 1
             self._spawn_flush()
@@ -184,7 +220,32 @@ class WriteBatcher:
                 self._on_commit(height, root, len(items))
             self._flushing_overlay = {}
             self._flushing_height = -1
+            if self.wal is not None:
+                self.wal.append_commit(height, root)
+                self._maybe_truncate_wal()
             return root, height
+
+    def _maybe_truncate_wal(self) -> None:
+        """Drop WAL segments the engine checkpoint now covers.
+
+        Runs only when the *earliest* shard checkpoint advanced (a
+        cascade landed); the deletes happen off-loop.
+        """
+        checkpoints = self.engine.shard_checkpoints()
+        floor = min(checkpoints)
+        if floor <= self._wal_truncated_at:
+            return
+        previous, self._wal_truncated_at = self._wal_truncated_at, floor
+
+        async def truncate() -> None:
+            try:
+                await self._run(self.wal.truncate, list(checkpoints))
+            except Exception:
+                # Best-effort: surviving segments only cost disk; rearm
+                # so the next checkpoint advance retries the delete.
+                self._wal_truncated_at = previous
+
+        asyncio.get_running_loop().create_task(truncate())
 
     def _commit(self, height: int, items: List[Tuple[bytes, bytes]]) -> Digest:
         self.engine.begin_block(height)

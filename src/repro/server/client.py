@@ -33,7 +33,13 @@ class _Connection:
 
     async def open(self, host: str, port: int) -> None:
         self.reader, self.writer = await asyncio.open_connection(host, port)
-        self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
+        try:
+            self._reader_task = asyncio.get_running_loop().create_task(
+                self._read_loop()
+            )
+        except BaseException:
+            self.writer.close()  # never leak a connected socket
+            raise
 
     async def _read_loop(self) -> None:
         try:
@@ -99,11 +105,24 @@ class ServerClient:
         self._next = 0
 
     async def connect(self) -> "ServerClient":
-        """Open every pooled connection."""
-        for _ in range(self.pool_size):
-            conn = _Connection()
-            await conn.open(self.host, self.port)
-            self._conns.append(conn)
+        """Open every pooled connection.
+
+        All-or-nothing: when one open fails mid-pool-fill, every
+        connection opened so far is closed before the error propagates —
+        a half-built pool would otherwise leak its sockets (and their
+        reader tasks) with no handle left to close them.
+        """
+        conns: List[_Connection] = []
+        try:
+            for _ in range(self.pool_size):
+                conn = _Connection()
+                await conn.open(self.host, self.port)
+                conns.append(conn)
+        except BaseException:
+            for conn in conns:
+                await conn.close()
+            raise
+        self._conns = conns
         return self
 
     async def close(self) -> None:

@@ -29,12 +29,13 @@ against commit checkpoints and background merge cascades.
 from __future__ import annotations
 
 import asyncio
+import heapq
 import json
 import pickle
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Optional, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.common.errors import StorageError
 from repro.server import protocol
@@ -68,6 +69,60 @@ class ServerConfig:
             raise ValueError("executor_workers must be >= 1")
 
 
+class _WalSyncer:
+    """Group-commit fsync: one fsync acks every put appended before it.
+
+    PUT handlers park on :meth:`durable` with the LSN their record got;
+    at most one WAL sync runs at a time (on the thread pool), and each
+    completed sync resolves every waiter it covered — the more clients
+    pile on, the more acks each fsync amortizes.
+    """
+
+    def __init__(self, wal, run_in_executor) -> None:
+        self.wal = wal
+        self._run = run_in_executor
+        self._waiters: List[tuple] = []  # heap of (lsn, seq, future)
+        self._seq = 0
+        self._task: Optional[asyncio.Task] = None
+
+    async def durable(self, lsn: int) -> None:
+        """Return once the WAL record at ``lsn`` is durable (per policy)."""
+        policy = self.wal.sync_policy
+        if policy == "none":
+            return  # ack on reaching the OS page cache
+        if policy == "always":
+            await self._run(self.wal.sync)  # strict: an fsync per ack
+            return
+        if lsn <= self.wal.synced_lsn:
+            return
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        heapq.heappush(self._waiters, (lsn, self._seq, future))
+        self._seq += 1
+        if self._task is None:
+            self._task = loop.create_task(self._drain())
+        await future
+
+    async def _drain(self) -> None:
+        try:
+            while self._waiters:
+                try:
+                    synced = await self._run(self.wal.sync)
+                except Exception as exc:  # fail every parked ack loudly
+                    error = StorageError(f"WAL sync failed: {exc}")
+                    while self._waiters:
+                        _, _, future = heapq.heappop(self._waiters)
+                        if not future.done():
+                            future.set_exception(error)
+                    return
+                while self._waiters and self._waiters[0][0] <= synced:
+                    _, _, future = heapq.heappop(self._waiters)
+                    if not future.done():
+                        future.set_result(None)
+        finally:
+            self._task = None
+
+
 class ColeServer:
     """Serve one engine over TCP."""
 
@@ -77,13 +132,24 @@ class ColeServer:
         host: str = "127.0.0.1",
         port: int = 0,
         config: Optional[ServerConfig] = None,
+        wal=None,
     ) -> None:
         """Wrap ``engine`` (a ``Cole`` or ``ShardedCole``); ``port=0``
-        binds an ephemeral port (reported by :meth:`start`)."""
+        binds an ephemeral port (reported by :meth:`start`).
+
+        ``wal`` (a :class:`~repro.wal.WriteAheadLog`, caller-owned like
+        the engine) makes the server durable: its unreplayed tail is
+        replayed into the engine before the port binds, and every PUT is
+        acknowledged only once its record is durable under the WAL's
+        sync policy.
+        """
         self.engine = engine
         self.host = host
         self.port = port
         self.config = config if config is not None else ServerConfig()
+        self.wal = wal
+        self.wal_syncer: Optional[_WalSyncer] = None
+        self.replay_stats = None  # ReplayStats once start() recovered
         self.cache = VersionedReadCache(self.config.cache_capacity)
         #: Commit version: the read-cache epoch, bumped per group commit.
         self.version = 0
@@ -103,17 +169,27 @@ class ColeServer:
     # =========================================================================
 
     async def start(self) -> Tuple[str, int]:
-        """Bind and start accepting; returns the bound ``(host, port)``."""
+        """Bind and start accepting; returns the bound ``(host, port)``.
+
+        With a WAL attached, the unacked tail is replayed into the
+        engine first — no request can observe pre-recovery state.
+        """
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.executor_workers,
             thread_name_prefix="cole-serve",
         )
+        if self.wal is not None:
+            from repro.wal import replay_wal
+
+            self.replay_stats = await self._run(replay_wal, self.engine, self.wal)
+            self.wal_syncer = _WalSyncer(self.wal, self._run)
         self.batcher = WriteBatcher(
             self.engine,
             max_batch=self.config.batch_max_puts,
             max_delay=self.config.batch_max_delay,
             run_in_executor=self._run,
             on_commit=self._committed,
+            wal=self.wal,
         )
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
@@ -209,6 +285,10 @@ class ColeServer:
             self.op_counts["put"] += 1
             addr, value = args
             height = self.batcher.put(addr, value)
+            if self.wal_syncer is not None:
+                # The write is buffered and WAL-appended; the ack waits
+                # for its record to be durable (group fsync).
+                await self.wal_syncer.durable(self.batcher.last_put_lsn)
             return protocol.encode_height_response(height)
         if op == Op.GET:
             self.op_counts["get"] += 1
@@ -333,6 +413,11 @@ class ColeServer:
                 "page_reads": engine_stats.total_reads,
                 "page_writes": engine_stats.total_writes,
             }
+        if self.wal is not None:
+            stats["wal"] = self.wal.stats()
+            if self.replay_stats is not None:
+                stats["wal"]["replayed_blocks"] = self.replay_stats.blocks_replayed
+                stats["wal"]["replayed_puts"] = self.replay_stats.puts_replayed
         return stats
 
 
@@ -352,8 +437,9 @@ class ServerThread:
         host: str = "127.0.0.1",
         port: int = 0,
         config: Optional[ServerConfig] = None,
+        wal=None,
     ) -> None:
-        self.server = ColeServer(engine, host, port, config)
+        self.server = ColeServer(engine, host, port, config, wal=wal)
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         self._started = threading.Event()

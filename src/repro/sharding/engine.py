@@ -237,6 +237,16 @@ class ShardedCole(StorageBackend):
         """Earliest shard checkpoint: replay the log from after this height."""
         return min(shard.checkpoint_blk for shard in self.shards)
 
+    def shard_checkpoints(self) -> List[int]:
+        """Every shard's durable checkpoint, in shard order.
+
+        The WAL layer filters and truncates each shard's chain against
+        its *own* checkpoint — the earliest-checkpoint summary above
+        would make eager shards re-apply (harmless) but lazy shards
+        under-truncate, so the per-shard vector is the real contract.
+        """
+        return [shard.checkpoint_blk for shard in self.shards]
+
     def storage_bytes(self) -> int:
         """Total on-disk footprint across all shards."""
         return sum(shard.storage_bytes() for shard in self.shards)

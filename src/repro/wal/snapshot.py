@@ -1,0 +1,207 @@
+"""Snapshot / restore: a consistent point-in-time copy of a store.
+
+A snapshot is a directory holding
+
+* every shard's ``MANIFEST.json`` and the run files it names,
+* the WAL segment chains (the tail of writes newer than the manifest
+  checkpoints — the in-memory level's durable twin), and
+* ``SNAPSHOT.json``: the store kind, the live root digest at the copy
+  instant, per-shard checkpoints, and a crc32 per copied file.
+
+Consistency: the copy happens under the engine's :class:`CommitGate`
+held **exclusive**, so no commit checkpoint can replace the manifest,
+attach a merge output, or delete a merged-away run mid-copy.  Background
+merges may keep running — their half-built files are not named by the
+manifest and are not copied.  Runs are immutable once built, so the
+named files cannot change under the copy.
+
+Restoring verifies every file against its recorded crc32, lays the files
+back out, and leaves opening the engine (plus replaying the copied WAL
+tail) to the caller — ``repro restore`` does both and checks the
+recovered root digest against the recorded one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import zlib
+from typing import Dict, List, Optional
+
+from repro.common.errors import IntegrityError, StorageError
+from repro.common.hashing import hash_concat
+from repro.core.manifest import MANIFEST_NAME, load_manifest
+from repro.core.run import RUN_SUFFIXES
+from repro.wal.log import WriteAheadLog
+
+SNAPSHOT_META_NAME = "SNAPSHOT.json"
+WAL_DIR_NAME = "wal"
+
+
+def _file_crc(path: str) -> int:
+    crc = 0
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(1 << 20)
+            if not chunk:
+                return crc
+            crc = zlib.crc32(chunk, crc)
+
+
+def _shards_of(engine) -> List[object]:
+    return list(engine.shards) if hasattr(engine, "shards") else [engine]
+
+
+def _live_root(engine) -> bytes:
+    """Root digest with the engine's top-level gate already held.
+
+    The public ``root_digest`` re-acquires the gate (not reentrant), so
+    the snapshot path reads the same digests through the gate-free
+    internals: per-shard ``root_digest`` only takes the *shard* gate,
+    which the top-level exclusive hold does not own.
+    """
+    if hasattr(engine, "shards"):
+        return hash_concat([shard.root_digest() for shard in engine.shards])
+    return engine._root_digest()
+
+
+def snapshot_store(
+    engine, dest: str, wal: Optional[WriteAheadLog] = None
+) -> dict:
+    """Copy ``engine``'s durable state (and ``wal``'s tail) into ``dest``.
+
+    Returns the written metadata.  ``dest`` must be absent or empty.
+    The engine stays open and serving-capable afterwards.
+
+    The recorded ``root_digest`` equals the root a restore-plus-replay
+    reproduces when every copied WAL record is already reflected in the
+    engine — true after :func:`~repro.wal.replay_wal` (the ``repro
+    snapshot`` flow) or any quiesced store.  Snapshotting a *live
+    served* store, force a group commit (the FLUSH op) first: puts still
+    buffered in the write batcher have WAL records but are not yet in
+    the engine root, so a restore would recover *more* than the recorded
+    root and report a mismatch.
+    """
+    if os.path.exists(dest) and os.listdir(dest):
+        raise StorageError(f"snapshot destination {dest} is not empty")
+    os.makedirs(dest, exist_ok=True)
+    shards = _shards_of(engine)
+    files: Dict[str, dict] = {}
+
+    def copy_one(src_path: str, rel: str, limit: Optional[int] = None) -> None:
+        # The crc accumulates over the chunks already flowing through the
+        # copy — re-reading the target to checksum it would double the
+        # IO done while the commit gate stalls every writer.
+        target = os.path.join(dest, rel)
+        os.makedirs(os.path.dirname(target), exist_ok=True)
+        crc = 0
+        copied = 0
+        remaining = limit
+        with open(src_path, "rb") as src, open(target, "wb") as out:
+            while remaining is None or remaining > 0:
+                step = 1 << 20 if remaining is None else min(1 << 20, remaining)
+                chunk = src.read(step)
+                if not chunk:
+                    break
+                out.write(chunk)
+                crc = zlib.crc32(chunk, crc)
+                copied += len(chunk)
+                if remaining is not None:
+                    remaining -= len(chunk)
+        files[rel] = {"size": copied, "crc32": crc}
+
+    with engine.gate.exclusive():
+        for index, shard in enumerate(shards):
+            shard.workspace.flush_all()
+            prefix = f"shard-{index:02d}" if len(shards) > 1 else ""
+            manifest = load_manifest(shard.workspace.root)
+            manifest_src = os.path.join(shard.workspace.root, MANIFEST_NAME)
+            if os.path.exists(manifest_src):
+                rel = os.path.join(prefix, MANIFEST_NAME) if prefix else MANIFEST_NAME
+                copy_one(manifest_src, rel)
+            for groups in manifest.levels.values():
+                for records in groups.values():
+                    for record in records:
+                        for suffix in RUN_SUFFIXES:
+                            name = record.name + suffix
+                            src_path = shard.workspace.path_of(name)
+                            if os.path.exists(src_path):
+                                rel = os.path.join(prefix, name) if prefix else name
+                                copy_one(src_path, rel)
+        if wal is not None:
+            # Segment prefixes captured at record boundaries: appends
+            # racing the copy can neither tear a record nor leak records
+            # past the capture instant into the snapshot.
+            for shard_index, path, copy_bytes in wal.live_files():
+                copy_one(
+                    path,
+                    os.path.join(
+                        WAL_DIR_NAME,
+                        f"shard-{shard_index:02d}",
+                        os.path.basename(path),
+                    ),
+                    limit=copy_bytes,
+                )
+            meta_path = os.path.join(wal.directory, "WAL.json")
+            if os.path.exists(meta_path):
+                copy_one(meta_path, os.path.join(WAL_DIR_NAME, "WAL.json"))
+        meta = {
+            "format": 1,
+            "kind": "sharded" if len(shards) > 1 else "cole",
+            "num_shards": len(shards),
+            "root_digest": _live_root(engine).hex(),
+            "checkpoints": engine.shard_checkpoints(),
+            "current_blk": engine.current_blk,
+            "has_wal": wal is not None,
+            "files": files,
+        }
+    meta_path = os.path.join(dest, SNAPSHOT_META_NAME)
+    temp_path = meta_path + ".tmp"
+    with open(temp_path, "w", encoding="utf-8") as handle:
+        json.dump(meta, handle, indent=1)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp_path, meta_path)
+    return meta
+
+
+def load_snapshot_meta(src: str) -> dict:
+    path = os.path.join(src, SNAPSHOT_META_NAME)
+    if not os.path.exists(path):
+        raise StorageError(f"{src} is not a snapshot (no {SNAPSHOT_META_NAME})")
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def verify_snapshot(src: str) -> dict:
+    """Check every snapshot file against its recorded size and crc32."""
+    meta = load_snapshot_meta(src)
+    for rel, attrs in meta["files"].items():
+        path = os.path.join(src, rel)
+        if not os.path.exists(path):
+            raise IntegrityError(f"snapshot file missing: {rel}")
+        if os.path.getsize(path) != attrs["size"]:
+            raise IntegrityError(f"snapshot file resized: {rel}")
+        if _file_crc(path) != attrs["crc32"]:
+            raise IntegrityError(f"snapshot file corrupted: {rel}")
+    return meta
+
+
+def restore_store(src: str, dest: str) -> dict:
+    """Verify the snapshot at ``src`` and lay its files out under ``dest``.
+
+    Returns the snapshot metadata.  The caller opens the engine on
+    ``dest`` (same shard count) and replays ``dest/wal`` to finish —
+    ``repro restore`` does exactly that and compares the recovered root
+    against ``meta["root_digest"]``.
+    """
+    meta = verify_snapshot(src)
+    if os.path.exists(dest) and os.listdir(dest):
+        raise StorageError(f"restore destination {dest} is not empty")
+    os.makedirs(dest, exist_ok=True)
+    for rel in meta["files"]:
+        target = os.path.join(dest, rel)
+        os.makedirs(os.path.dirname(target), exist_ok=True)
+        shutil.copyfile(os.path.join(src, rel), target)
+    return meta

@@ -55,3 +55,88 @@ def test_unknown_experiment(capsys):
 def test_index_share_experiment(capsys):
     assert main(["experiment", "index-share"]) == 0
     assert "data_share" in capsys.readouterr().out
+
+
+def build_durable_workspace(directory):
+    """A workspace whose WAL still owes the engine its in-memory tail."""
+    import os
+
+    from repro.wal import WriteAheadLog
+
+    params = ColeParams(async_merge=True, mem_capacity=512)
+    cole = Cole(directory, params)
+    wal = WriteAheadLog(os.path.join(directory, "wal"))
+    rng = random.Random(3)
+    pool = [rng.randbytes(32) for _ in range(12)]
+    for blk in range(1, 9):
+        cole.begin_block(blk)
+        for _ in range(6):
+            addr, value = rng.choice(pool), rng.randbytes(40)
+            cole.put(addr, value)
+            wal.append_put(addr, value, blk)
+        wal.append_commit(blk, cole.commit_block())
+    root = cole.root_digest()
+    wal.close()
+    cole.close()
+    return root
+
+
+def test_snapshot_restore_cli_round_trip(tmp_path, capsys):
+    workspace = str(tmp_path / "ws")
+    live_root = build_durable_workspace(workspace)
+    snap = str(tmp_path / "snap")
+    assert main(["snapshot", workspace, snap]) == 0
+    out = capsys.readouterr().out
+    assert live_root.hex() in out
+    dest = str(tmp_path / "restored")
+    assert main(["restore", snap, dest]) == 0
+    out = capsys.readouterr().out
+    assert "root digest matches" in out
+    assert live_root.hex() in out
+
+
+def test_snapshot_refuses_locked_workspace(tmp_path):
+    """A live `repro serve` holds the workspace lock; snapshotting then
+    would race its commits across processes, so the CLI aborts."""
+    import fcntl
+    import os
+
+    import pytest
+
+    workspace = str(tmp_path / "ws")
+    build_durable_workspace(workspace)
+    holder = open(os.path.join(workspace, "LOCK"), "w")
+    fcntl.flock(holder, fcntl.LOCK_EX | fcntl.LOCK_NB)
+    try:
+        with pytest.raises(SystemExit, match="locked by another process"):
+            main(["snapshot", workspace, str(tmp_path / "snap")])
+    finally:
+        holder.close()
+    # Lock released: the same command now succeeds.
+    assert main(["snapshot", workspace, str(tmp_path / "snap")]) == 0
+
+
+def test_restore_rejects_corrupted_snapshot(tmp_path, capsys):
+    import os
+
+    workspace = str(tmp_path / "ws")
+    build_durable_workspace(workspace)
+    snap = str(tmp_path / "snap")
+    assert main(["snapshot", workspace, snap]) == 0
+    capsys.readouterr()
+    # Corrupt one snapshot file; restore must refuse loudly.
+    import json
+
+    with open(os.path.join(snap, "SNAPSHOT.json")) as handle:
+        victim = sorted(json.load(handle)["files"])[0]
+    with open(os.path.join(snap, victim), "r+b") as handle:
+        handle.seek(2)
+        byte = handle.read(1)
+        handle.seek(2)
+        handle.write(bytes([byte[0] ^ 0x55]))
+    import pytest
+
+    from repro.common.errors import IntegrityError
+
+    with pytest.raises(IntegrityError):
+        main(["restore", snap, str(tmp_path / "restored")])

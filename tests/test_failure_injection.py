@@ -194,6 +194,108 @@ def test_background_merge_failure_names_run_and_chains_cause(tmp_path, monkeypat
     cole.close()
 
 
+# =============================================================================
+# WAL torn tails: every way a crash can mangle the log's end
+# =============================================================================
+
+def build_wal_store(directory, blocks=5, puts_per_block=10):
+    """A served-store stand-in: engine + WAL fed the same put stream."""
+    from repro.wal import WriteAheadLog
+
+    cole = Cole(directory, make_params(async_merge=True))
+    wal = WriteAheadLog(os.path.join(directory, "wal"))
+    rng = random.Random(41)
+    written = []
+    for blk in range(1, blocks + 1):
+        cole.begin_block(blk)
+        for _ in range(puts_per_block):
+            addr, value = rng.randbytes(20), rng.randbytes(32)
+            cole.put(addr, value)
+            wal.append_put(addr, value, blk)
+            written.append((addr, blk, value))
+        root = cole.commit_block()
+        wal.append_commit(blk, root)
+    wal.sync()
+    return cole, wal, written
+
+
+def recover_wal_store(directory):
+    from repro.wal import WriteAheadLog, replay_wal
+
+    cole = Cole(directory, make_params(async_merge=True))
+    wal = WriteAheadLog(os.path.join(directory, "wal"))
+    stats = replay_wal(cole, wal)
+    return cole, wal, stats
+
+
+def wal_segment_paths(directory):
+    seg_dir = os.path.join(directory, "wal", "shard-00")
+    return [os.path.join(seg_dir, name) for name in sorted(os.listdir(seg_dir))]
+
+
+def test_wal_truncated_record_recovers_clean_prefix(tmp_path):
+    directory = str(tmp_path / "walt")
+    cole, wal, written = build_wal_store(directory)
+    live_root = cole.root_digest()
+    cole.workspace.close()
+    wal.close()
+    # Tear the last record: keep its header, lose the body's tail.
+    [path] = wal_segment_paths(directory)
+    with open(path, "r+b") as handle:
+        handle.truncate(os.path.getsize(path) - 11)
+    reopened, wal2, stats = recover_wal_store(directory)
+    # The torn record was the last COMMIT marker; every put survived.
+    for addr, blk, value in written:
+        assert reopened.get_at(addr, blk) == value
+    assert reopened.root_digest() == live_root
+    wal2.close()
+    reopened.close()
+
+
+def test_wal_corrupted_checksum_recovers_clean_prefix(tmp_path):
+    directory = str(tmp_path / "walc")
+    cole, wal, written = build_wal_store(directory)
+    cole.workspace.close()
+    wal.close()
+    # Flip a byte near the tail: the scan must stop at the corrupt
+    # record and recovery must still restore the clean prefix before it.
+    from repro.wal import scan_records
+
+    [path] = wal_segment_paths(directory)
+    with open(path, "rb") as handle:
+        data = bytearray(handle.read())
+    data[len(data) - 20] ^= 0xFF
+    with open(path, "wb") as handle:
+        handle.write(bytes(data))
+    clean_prefix = scan_records(bytes(data))
+    assert clean_prefix.anomaly == "bad checksum"
+    reopened, wal2, stats = recover_wal_store(directory)
+    # Every block before the corrupted tail record survives in full.
+    last_blk = max(blk for _addr, blk, _value in written)
+    for addr, blk, value in written:
+        if blk < last_blk:
+            assert reopened.get_at(addr, blk) == value
+    wal2.close()
+    reopened.close()
+
+
+def test_wal_empty_segment_recovers_clean(tmp_path):
+    directory = str(tmp_path / "wale")
+    cole, wal, written = build_wal_store(directory)
+    live_root = cole.root_digest()
+    cole.workspace.close()
+    wal.close()
+    # A crash right after rotation leaves a zero-byte segment behind.
+    seg_dir = os.path.join(directory, "wal", "shard-00")
+    open(os.path.join(seg_dir, "seg-00000099.wal"), "wb").close()
+    reopened, wal2, stats = recover_wal_store(directory)
+    for addr, blk, value in written:
+        assert reopened.get_at(addr, blk) == value
+    assert reopened.root_digest() == live_root
+    wal2.close()
+    reopened.close()
+
+
 def test_recovery_after_partial_run_files(tmp_path):
     directory = str(tmp_path / "p")
     cole, pool = build_chain(directory, blocks=40)

@@ -482,6 +482,40 @@ def test_stats_op_shape(tmp_path):
     engine.close()
 
 
+def test_client_pool_fill_failure_closes_partial_pool(tmp_path):
+    """A connect() that dies mid-pool-fill must not leak the sockets it
+    already opened (regression: they had no owner to close them)."""
+    from unittest import mock
+
+    engine = Cole(str(tmp_path / "ws"), PARAMS)
+    opened = []
+
+    async def scenario(host, port):
+        real_open = asyncio.open_connection
+        calls = {"count": 0}
+
+        async def flaky_open(*args, **kwargs):
+            calls["count"] += 1
+            if calls["count"] > 2:
+                raise ConnectionRefusedError("handshake died mid-pool-fill")
+            reader, writer = await real_open(*args, **kwargs)
+            opened.append(writer)
+            return reader, writer
+
+        with mock.patch("asyncio.open_connection", flaky_open):
+            with pytest.raises(ConnectionRefusedError):
+                await ServerClient(host, port, pool_size=4).connect()
+        assert len(opened) == 2  # two succeeded before the failure
+        assert all(writer.is_closing() for writer in opened)
+        # And the server end stays healthy for the next client.
+        async with ServerClient(host, port) as client:
+            assert await client.get(addr_of(1)) is None
+
+    with serve(engine, batch_max_puts=1000, batch_max_delay=60.0) as thread:
+        asyncio.run(scenario(*thread.start()))
+    engine.close()
+
+
 def test_server_config_validation():
     with pytest.raises(ValueError):
         ServerConfig(batch_max_puts=0)
