@@ -1,8 +1,11 @@
 """Reduced-scale smoke benchmarks feeding the CI regression gate.
 
-Runs the sharding, service, and durability experiments at a scale sized
-for a CI minute, prints their series, and writes one JSON file that
-``check_regression.py`` compares against ``baselines/smoke.json``.
+Runs the sharding, service, durability, and replication experiments at
+a scale sized for a CI minute, prints their series, and writes one JSON
+file that ``check_regression.py`` compares against
+``baselines/smoke.json`` (the replication section is asserted for root
+equality here rather than throughput-gated — process spawn timing is too
+noisy for a floor).
 
 Usage::
 
@@ -16,6 +19,7 @@ import sys
 
 from repro.bench.experiments import (
     run_durability,
+    run_read_scaling,
     run_service_throughput,
     run_sharding_scalability,
 )
@@ -31,10 +35,22 @@ def main(argv) -> int:
     durability = run_durability(
         policies=("off", "batch"), clients=8, ops_per_client=100, num_keys=512
     )
+    # fig19 smoke: 1 primary + 1 replica; the driver raises unless the
+    # replica's root is byte-identical to the primary's at every wave.
+    replication = run_read_scaling(
+        replica_counts=(0, 1),
+        readers_per_node=4,
+        reads_per_reader=100,
+        num_keys=256,
+        load_waves=2,
+    )
+    if not replication[-1]["roots_checked"]:
+        raise SystemExit("replication smoke verified no replica roots")
     for name, rows in (
         ("sharding", sharding),
         ("service", service),
         ("durability", durability),
+        ("replication", replication),
     ):
         print(f"\n-- {name} --")
         print(
@@ -44,7 +60,12 @@ def main(argv) -> int:
         )
     with open(out_path, "w", encoding="utf-8") as handle:
         json.dump(
-            {"sharding": sharding, "service": service, "durability": durability},
+            {
+                "sharding": sharding,
+                "service": service,
+                "durability": durability,
+                "replication": replication,
+            },
             handle,
             indent=2,
         )

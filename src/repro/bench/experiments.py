@@ -598,6 +598,216 @@ def run_durability(
 
 
 # =============================================================================
+# Figure 19 (extension): read scaling across live replicas
+# =============================================================================
+
+def _spawn_serve_process(workspace: str, extra: Sequence[str], timeout_s: float = 60.0):
+    """Start ``repro serve`` in a subprocess; returns ``(proc, host, port)``.
+
+    Subprocesses (not threads) on purpose: read scaling across replicas
+    is a claim about independent engines on independent cores, which the
+    GIL would flatten inside one interpreter.
+    """
+    import os
+    import re
+    import subprocess
+    import sys
+    import threading
+
+    src = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-u", "-m", "repro.cli", "serve", workspace,
+            "--port", "0", *extra,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    lines: List[str] = []
+    found: Dict[str, object] = {}
+    ready = threading.Event()
+
+    def pump() -> None:
+        for line in proc.stdout:
+            lines.append(line)
+            match = re.search(r"serving .* on ([\d.]+):(\d+)", line)
+            if match and "port" not in found:
+                found["host"], found["port"] = match.group(1), int(match.group(2))
+                ready.set()
+        ready.set()  # EOF: unblock the waiter either way
+
+    threading.Thread(target=pump, daemon=True).start()
+    if not ready.wait(timeout=timeout_s) or "port" not in found:
+        proc.kill()
+        raise RuntimeError(f"server never came up:\n{''.join(lines)}")
+    return proc, found["host"], found["port"]
+
+
+def _run_loadgen_process(host: str, port: int, clients: int, ops: int,
+                         num_keys: int, seed: int):
+    """Start a read-only ``repro loadgen --json`` subprocess."""
+    import os
+    import subprocess
+    import sys
+
+    src = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable, "-u", "-m", "repro.cli", "loadgen",
+            "--host", host, "--port", str(port),
+            "--clients", str(clients), "--ops", str(ops),
+            "--read-fraction", "1.0", "--num-keys", str(num_keys),
+            "--seed", str(seed), "--json",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+
+
+def run_read_scaling(
+    replica_counts: Sequence[int] = (0, 1, 3),
+    readers_per_node: int = 8,
+    reads_per_reader: int = 400,
+    num_keys: int = 2048,
+    load_waves: int = 4,
+    seed: int = 7,
+) -> List[Row]:
+    """Figure 19 (new): aggregate read throughput vs live replica count.
+
+    For each replica count: one primary process (``repro serve --wal``)
+    plus that many replica processes subscribe to its WAL stream; the
+    key space is loaded in waves, and after each wave's group commit
+    every replica is polled until it reaches the committed height and
+    its ``ROOT`` digest is asserted **byte-identical** to the primary's
+    — COLE's deterministic checkpoints make root equality the
+    replication correctness oracle.  Then a read-only closed-loop load
+    generator process saturates each serving node (primary included)
+    **one node at a time**, and the aggregate reads/s is the sum of the
+    per-node rates: each node is its own process with its own engine, so
+    per-node capacity measured in isolation is what a deployment with
+    one node per machine aggregates — while driving all nodes at once on
+    a small shared CI host would only measure that host's core budget.
+
+    Reported per point: nodes, aggregate reads/s, the slowest node's
+    rate, the number of height/root equality checks that passed, and the
+    maximum replica lag observed while loading.
+    """
+    import asyncio
+    import json as json_mod
+    import shutil
+
+    from repro.server import ServerClient
+    from repro.server.loadgen import key_addr, _value
+
+    rows: List[Row] = []
+    for replicas in replica_counts:
+        base = fresh_dir()
+        procs = []
+        try:
+            primary_ws = f"{base}/primary"
+            proc, host, port = _spawn_serve_process(
+                primary_ws, ["--wal", "--batch-puts", "256", "--batch-delay-ms", "4"]
+            )
+            procs.append(proc)
+            endpoints = [(host, port)]
+            for index in range(replicas):
+                rproc, rhost, rport = _spawn_serve_process(
+                    f"{base}/replica-{index}", ["--replica-of", f"{host}:{port}"]
+                )
+                procs.append(rproc)
+                endpoints.append((rhost, rport))
+
+            roots_checked = 0
+            max_lag_seen = 0
+
+            async def load_and_verify():
+                nonlocal roots_checked, max_lag_seen
+                async with ServerClient(host, port) as writer:
+                    per_wave = (num_keys + load_waves - 1) // load_waves
+                    for wave in range(load_waves):
+                        ranks = range(
+                            wave * per_wave, min((wave + 1) * per_wave, num_keys)
+                        )
+                        for rank in ranks:
+                            await writer.put(
+                                key_addr(rank, 32), _value(seed, rank, 40)
+                            )
+                        info = await writer.flush()
+                        for rhost, rport in endpoints[1:]:
+                            async with ServerClient(rhost, rport) as reader:
+                                for _ in range(600):
+                                    rinfo = await reader.root()
+                                    lag = info.height - rinfo.height
+                                    max_lag_seen = max(max_lag_seen, lag)
+                                    if lag <= 0:
+                                        break
+                                    await asyncio.sleep(0.02)
+                                rinfo = await reader.root()
+                                if rinfo.height != info.height:
+                                    raise RuntimeError(
+                                        f"replica {rhost}:{rport} stuck at "
+                                        f"height {rinfo.height} < {info.height}"
+                                    )
+                                if rinfo.digest != info.digest:
+                                    raise RuntimeError(
+                                        f"root mismatch at height {info.height}"
+                                    )
+                                roots_checked += 1
+
+            asyncio.run(load_and_verify())
+
+            # Saturate one node at a time (see docstring); the aggregate
+            # is the sum of isolated per-node rates.
+            reports = []
+            for index, (ehost, eport) in enumerate(endpoints):
+                run = _run_loadgen_process(
+                    ehost, eport, readers_per_node, reads_per_reader,
+                    num_keys, seed + index,
+                )
+                out, err = run.communicate(timeout=300)
+                if run.returncode != 0:
+                    raise RuntimeError(
+                        f"loadgen failed (rc={run.returncode}):\n{out}\n{err}"
+                    )
+                reports.append(json_mod.loads(out))
+            total_reads = sum(report["ops"] for report in reports)
+            per_node = [report["ops_per_s"] for report in reports]
+            rows.append(
+                {
+                    "replicas": replicas,
+                    "nodes": len(endpoints),
+                    "reads": total_reads,
+                    "agg_reads_per_s": sum(per_node),
+                    "reads_per_s_per_node": min(per_node),
+                    "roots_checked": roots_checked,
+                    "max_lag_blocks": max_lag_seen,
+                }
+            )
+        finally:
+            for proc in procs:
+                proc.terminate()
+            for proc in procs:
+                try:
+                    proc.wait(timeout=15)
+                except Exception:
+                    proc.kill()
+            shutil.rmtree(base, ignore_errors=True)
+    return rows
+
+
+# =============================================================================
 # Table 1: empirical complexity comparison
 # =============================================================================
 

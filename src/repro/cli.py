@@ -6,7 +6,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli experiment fig9 [--heights 30,100] [--engines mpt,cole]
     python -m repro.cli experiment table1
     python -m repro.cli serve /path/to/workspace --port 7407 [--shards 4] [--wal]
-    python -m repro.cli loadgen --port 7407 --clients 32 --ops 200
+    python -m repro.cli serve /path/to/replica --replica-of 127.0.0.1:7407
+    python -m repro.cli loadgen --port 7407 --clients 32 --ops 200 [--json]
     python -m repro.cli snapshot /path/to/workspace /path/to/snapshot
     python -m repro.cli restore /path/to/snapshot /path/to/new-workspace
 """
@@ -31,6 +32,7 @@ _EXPERIMENTS = {
     "fig16": ("run_sharding_scalability", {}),
     "fig17": ("run_service_throughput", {}),
     "fig18": ("run_durability", {}),
+    "fig19": ("run_read_scaling", {}),
     "table1": ("run_complexity_table", {}),
     "index-share": ("run_index_share", {}),
 }
@@ -157,6 +159,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         call_kwargs["engines"] = tuple(args.engines.split(","))
     if args.shards and "shard_counts" in driver.__code__.co_varnames:
         call_kwargs["shard_counts"] = tuple(int(n) for n in args.shards.split(","))
+    if args.replicas and "replica_counts" in driver.__code__.co_varnames:
+        call_kwargs["replica_counts"] = tuple(int(n) for n in args.replicas.split(","))
     result = driver(**call_kwargs)
     if isinstance(result, dict):
         for key, value in result.items():
@@ -168,6 +172,13 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_host_port(value: str) -> tuple:
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"--replica-of expects HOST:PORT, got {value!r}")
+    return host, int(port)
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Serve a COLE workspace over TCP until interrupted."""
     import asyncio
@@ -175,6 +186,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.server import ColeServer, ServerConfig
 
+    replica_of = _parse_host_port(args.replica_of) if args.replica_of else None
+    if replica_of is not None and args.wal:
+        raise SystemExit(
+            "--replica-of and --wal are mutually exclusive: a replica's "
+            "recovery source is the primary's stream, not a local WAL"
+        )
+    if args.bootstrap_from:
+        if replica_of is None:
+            raise SystemExit("--bootstrap-from only makes sense with --replica-of")
+        if not os.path.isdir(args.workspace) or not os.listdir(args.workspace):
+            from repro.wal import restore_store
+
+            meta = restore_store(args.bootstrap_from, args.workspace)
+            print(
+                f"bootstrapped {args.workspace} from snapshot "
+                f"{args.bootstrap_from} ({len(meta['files'])} files)",
+                flush=True,
+            )
     # --shards 0 (the default) re-opens an existing workspace with the
     # shard count it was created with — restarting a 4-shard store
     # without remembering the flag must not serve an empty single-engine
@@ -192,13 +221,34 @@ def cmd_serve(args: argparse.Namespace) -> int:
             sync_policy=args.wal_sync,
             segment_max_bytes=args.wal_segment_kb * 1024,
         )
+    elif replica_of is not None:
+        # A restored snapshot ships the primary's WAL tail: replay it so
+        # the replica subscribes at the snapshot's root, not behind it.
+        wal_dir = os.path.join(args.workspace, WAL_DIRNAME)
+        if os.path.isdir(wal_dir):
+            from repro.wal import WriteAheadLog, replay_wal
+
+            boot_wal = WriteAheadLog(wal_dir, num_shards=num_shards)
+            stats = replay_wal(engine, boot_wal)
+            boot_wal.close()
+            if stats.replayed_anything:
+                print(
+                    f"replayed {stats.puts_replayed} snapshot-tail writes "
+                    f"in {stats.blocks_replayed} blocks",
+                    flush=True,
+                )
     config = ServerConfig(
         batch_max_puts=args.batch_puts,
         batch_max_delay=args.batch_delay_ms / 1000.0,
         cache_capacity=args.cache_capacity,
     )
     server = ColeServer(
-        engine, host=args.host, port=args.port, config=config, wal=wal
+        engine,
+        host=args.host,
+        port=args.port,
+        config=config,
+        wal=wal,
+        replica_of=replica_of,
     )
 
     async def serve() -> None:
@@ -213,9 +263,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
             )
         shards = f", {num_shards} shards" if num_shards > 1 else ""
         durability = f", wal={wal.sync_policy}" if wal is not None else ""
+        role = (
+            f", replica of {args.replica_of}" if replica_of is not None else ""
+        )
         print(
-            f"serving {args.workspace} on {host}:{port}{shards}{durability} "
-            "(Ctrl-C stops)",
+            f"serving {args.workspace} on {host}:{port}{shards}{durability}"
+            f"{role} (Ctrl-C stops)",
             flush=True,
         )
         try:
@@ -299,7 +352,11 @@ def cmd_restore(args: argparse.Namespace) -> int:
 
 
 def cmd_loadgen(args: argparse.Namespace) -> int:
-    """Drive a running server with concurrent YCSB-style clients."""
+    """Drive a running server with concurrent YCSB-style clients.
+
+    Exits non-zero when any op errored — a loadgen run against a broken
+    server must not report a clean throughput number and exit 0.
+    """
     from repro.server import LoadgenParams, format_report, run_loadgen_sync
 
     params = LoadgenParams(
@@ -312,7 +369,12 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     report = run_loadgen_sync(args.host, args.port, params)
-    print(format_report(report))
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(format_report(report))
     return 1 if report.errors else 0
 
 
@@ -333,6 +395,10 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--engines", help="comma-separated engine names")
     experiment.add_argument(
         "--shards", help="comma-separated shard counts (fig16 sharding sweep)"
+    )
+    experiment.add_argument(
+        "--replicas",
+        help="comma-separated replica counts (fig19 read-scaling sweep)",
     )
     experiment.set_defaults(func=cmd_experiment)
 
@@ -379,6 +445,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--wal-segment-kb", type=int, default=4096, help="segment roll size"
     )
+    serve.add_argument(
+        "--replica-of",
+        metavar="HOST:PORT",
+        default=None,
+        help="replica mode: tail the primary's WAL stream and serve "
+        "reads; PUT/FLUSH answer NOT_PRIMARY",
+    )
+    serve.add_argument(
+        "--bootstrap-from",
+        metavar="SNAPSHOT",
+        default=None,
+        help="restore this snapshot into the workspace first (replica "
+        "mode, empty workspace only)",
+    )
     serve.set_defaults(func=cmd_serve)
 
     snapshot = sub.add_parser(
@@ -412,6 +492,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--rate", type=float, default=2000.0, help="total ops/s (open loop)"
     )
     loadgen.add_argument("--seed", type=int, default=7)
+    loadgen.add_argument(
+        "--json", action="store_true", help="print the report as JSON"
+    )
     loadgen.set_defaults(func=cmd_loadgen)
     return parser
 

@@ -16,11 +16,15 @@ Turns the in-process engine into a service (see DESIGN.md):
 Attach a :class:`~repro.wal.WriteAheadLog` (``repro serve --wal``) and
 the server becomes durable: PUTs ack only after a group fsync, and the
 WAL tail replays on startup (Figure 18; ``tests/test_durability.py``).
+A WAL-enabled server is also a replication primary — live replicas
+(``repro serve --replica-of``) tail its record stream and serve reads,
+with :class:`ReplicatedClient` fanning reads across them (Figure 19;
+``tests/test_replication.py``; see :mod:`repro.replication`).
 """
 
 from repro.server.batcher import WriteBatcher
 from repro.server.cache import VersionedReadCache
-from repro.server.client import ServerClient
+from repro.server.client import ReplicatedClient, ServerClient
 from repro.server.loadgen import (
     LoadgenParams,
     LoadReport,
@@ -30,7 +34,7 @@ from repro.server.loadgen import (
     run_loadgen,
     run_loadgen_sync,
 )
-from repro.server.protocol import Op, RootInfo, Status
+from repro.server.protocol import NotPrimaryError, Op, RootInfo, Status
 from repro.server.server import ColeServer, ServerConfig, ServerThread
 
 __all__ = [
@@ -38,11 +42,13 @@ __all__ = [
     "ServerConfig",
     "ServerThread",
     "ServerClient",
+    "ReplicatedClient",
     "WriteBatcher",
     "VersionedReadCache",
     "Op",
     "Status",
     "RootInfo",
+    "NotPrimaryError",
     "LoadgenParams",
     "LoadReport",
     "client_ops",

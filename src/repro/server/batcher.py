@@ -68,17 +68,22 @@ class WriteBatcher:
         run_in_executor: Callable[..., Awaitable],
         on_commit: Optional[Callable[[int, Digest, int], None]] = None,
         wal=None,
+        hub=None,
     ) -> None:
         """``run_in_executor(fn, *args)`` awaits ``fn`` off-loop;
         ``on_commit(height, root, batch_size)`` fires after each commit
         (the server bumps its cache epoch there); ``wal`` is an optional
-        :class:`~repro.wal.WriteAheadLog` every put is appended to."""
+        :class:`~repro.wal.WriteAheadLog` every put is appended to;
+        ``hub`` is an optional :class:`~repro.replication.ReplicationHub`
+        each committed batch is published to once its WAL records are
+        durable (requires ``wal``)."""
         self.engine = engine
         self.max_batch = max_batch
         self.max_delay = max_delay
         self._run = run_in_executor
         self._on_commit = on_commit
         self.wal = wal
+        self._hub = hub
         #: LSN of the most recent put's WAL record (ack durability mark).
         self.last_put_lsn = 0
         self._wal_truncated_at = min(engine.shard_checkpoints()) if wal else -1
@@ -223,14 +228,31 @@ class WriteBatcher:
             if self.wal is not None:
                 self.wal.append_commit(height, root)
                 self._maybe_truncate_wal()
+                if self._hub is not None and self._hub.subscribers:
+                    # Ship only sealed-and-fsynced batches: a replica must
+                    # never hold a write a crashed primary would fail to
+                    # recover, or the two would silently diverge when the
+                    # primary re-assigns the lost heights.  (Under the
+                    # "none" policy no durability is promised anyway, so
+                    # the batch ships as-is.)  A subscriber registering
+                    # after this check reads the batch from the WAL in its
+                    # catch-up scan — the COMMIT marker is already on disk.
+                    if self.wal.sync_policy != "none":
+                        await self._run(self.wal.sync)
+                    self._hub.publish(height, items, root)
             return root, height
 
     def _maybe_truncate_wal(self) -> None:
         """Drop WAL segments the engine checkpoint now covers.
 
         Runs only when the *earliest* shard checkpoint advanced (a
-        cascade landed); the deletes happen off-loop.
+        cascade landed); the deletes happen off-loop.  Deferred while a
+        replication catch-up scan is reading segments — a delete landing
+        mid-scan could remove heights that scan was promised (retried at
+        the next commit; segments only cost disk meanwhile).
         """
+        if self._hub is not None and self._hub.catchups_active:
+            return
         checkpoints = self.engine.shard_checkpoints()
         floor = min(checkpoints)
         if floor <= self._wal_truncated_at:

@@ -44,6 +44,9 @@ class VersionedReadCache:
             OrderedDict()
         )
         self._lock = threading.Lock()
+        #: Current epoch floor: puts stamped below it are dead on arrival
+        #: (advanced by the server on every group commit).
+        self._floor = 0
         self.hits = 0
         self.misses = 0
 
@@ -64,12 +67,26 @@ class VersionedReadCache:
             return True, value
 
     def put(self, key: Hashable, version: int, value: Optional[bytes]) -> None:
-        """Store an answer computed while ``version`` was current."""
+        """Store an answer computed while ``version`` was current.
+
+        A fill that raced a commit arrives stamped with the pre-commit
+        version: it could never hit (lookups compare against the current
+        epoch) but it *could* evict a live entry.  Such dead-on-arrival
+        puts are dropped against the epoch floor instead.
+        """
         with self._lock:
+            if version < self._floor:
+                return
             self._entries[key] = (version, value)
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+
+    def advance(self, version: int) -> None:
+        """Raise the epoch floor (called at every group commit)."""
+        with self._lock:
+            if version > self._floor:
+                self._floor = version
 
     def __len__(self) -> int:
         with self._lock:
@@ -81,8 +98,29 @@ class VersionedReadCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def stats(self) -> dict:
+        """One consistent snapshot of the counters, under the lock.
+
+        Reading ``hits`` / ``misses`` / ``hit_rate`` field-by-field from
+        another thread can tear — the rate would mix a ``hits`` from one
+        instant with a ``misses`` from another.  Every derived number
+        here comes from a single locked read.
+        """
+        with self._lock:
+            hits, misses = self.hits, self.misses
+            entries = len(self._entries)
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "lookups": total,
+            "hit_rate": hits / total if total else 0.0,
+            "entries": entries,
+            "capacity": self.capacity,
+        }
+
     def clear(self) -> None:
-        """Drop all entries and counters."""
+        """Drop all entries and counters (the epoch floor stays)."""
         with self._lock:
             self._entries.clear()
             self.hits = 0

@@ -7,17 +7,23 @@ earlier responses, and a per-connection reader task resolves futures in
 FIFO order — valid because the server answers every connection strictly
 in request order.  Pipelining removes the per-op network round trip from
 the critical path, which is where most of a small op's latency lives.
+
+:class:`ReplicatedClient` is the replica-aware mode: writes go to the
+primary (following ``NOT_PRIMARY`` redirects), reads fan out round-robin
+across the replica set with the primary as fallback, and
+:meth:`ReplicatedClient.refresh_lag` sidelines replicas lagging more
+than ``max_lag`` blocks behind the primary.
 """
 
 from __future__ import annotations
 
 import asyncio
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, List, Optional, Sequence, Tuple
 
 from repro.common.errors import StorageError
 from repro.server import protocol
-from repro.server.protocol import Op, RootInfo
+from repro.server.protocol import NotPrimaryError, Op, RootInfo
 
 
 class _Connection:
@@ -185,3 +191,193 @@ class ServerClient:
         """Force a group commit; returns the new state anchor."""
         body = await self._conn().request(protocol.encode_simple(Op.FLUSH))
         return protocol.decode_root_response(body)
+
+
+def _parse_addr(addr: str) -> Tuple[str, int]:
+    """``host:port`` -> ``(host, port)`` (the NOT_PRIMARY payload shape)."""
+    host, _, port = addr.rpartition(":")
+    if not host or not port.isdigit():
+        raise StorageError(f"malformed primary address {addr!r}")
+    return host, int(port)
+
+
+class ReplicatedClient:
+    """Reads fanned across replicas, writes routed to the primary.
+
+    ``replicas`` lists read-serving replica addresses; reads round-robin
+    over the healthy ones (plus the primary when ``read_primary`` is
+    true, or whenever no replica is usable) and retry once against the
+    primary when the chosen replica fails mid-request — replica reads
+    are idempotent, so the retry is safe.  A write answered with
+    ``NOT_PRIMARY`` (the configured "primary" was actually a replica)
+    reconnects to the address the rejection carried and retries once.
+    """
+
+    def __init__(
+        self,
+        primary: Tuple[str, int],
+        replicas: Sequence[Tuple[str, int]] = (),
+        pool_size: int = 1,
+        max_lag: Optional[int] = None,
+        read_primary: bool = True,
+    ) -> None:
+        self._primary_addr = primary
+        self._replica_addrs = list(replicas)
+        self.pool_size = pool_size
+        self.max_lag = max_lag
+        self.read_primary = read_primary
+        self._primary: Optional[ServerClient] = None
+        self._replicas: List[ServerClient] = []
+        self._lagging: set = set()  # indexes sidelined by refresh_lag
+        self._next = 0
+        self.redirects = 0
+        self.read_fallbacks = 0
+
+    @property
+    def primary(self) -> ServerClient:
+        if self._primary is None:
+            raise StorageError("client is not connected")
+        return self._primary
+
+    @property
+    def replicas(self) -> List[ServerClient]:
+        return list(self._replicas)
+
+    async def connect(self) -> "ReplicatedClient":
+        """Open the primary and every replica (all-or-nothing)."""
+        primary = ServerClient(*self._primary_addr, pool_size=self.pool_size)
+        opened: List[ServerClient] = []
+        try:
+            await primary.connect()
+            for host, port in self._replica_addrs:
+                replica = ServerClient(host, port, pool_size=self.pool_size)
+                await replica.connect()
+                opened.append(replica)
+        except BaseException:
+            for client in opened:
+                await client.close()
+            await primary.close()
+            raise
+        self._primary = primary
+        self._replicas = opened
+        return self
+
+    async def close(self) -> None:
+        clients, self._replicas = self._replicas, []
+        for client in clients:
+            await client.close()
+        if self._primary is not None:
+            primary, self._primary = self._primary, None
+            await primary.close()
+
+    async def __aenter__(self) -> "ReplicatedClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    # -- read routing ---------------------------------------------------------
+
+    def _read_targets(self) -> List[ServerClient]:
+        """Round-robin order for one read: chosen node first, primary last."""
+        pool: List[ServerClient] = [
+            replica
+            for index, replica in enumerate(self._replicas)
+            if index not in self._lagging
+        ]
+        if self.read_primary or not pool:
+            pool.append(self.primary)
+        start = self._next % len(pool)
+        self._next += 1
+        ordered = pool[start:] + pool[:start]
+        if self._primary is not None and self._primary not in ordered:
+            ordered.append(self._primary)  # last-resort fallback
+        return ordered
+
+    async def _read(self, issue):
+        targets = self._read_targets()
+        for index, target in enumerate(targets):
+            try:
+                return await issue(target)
+            except (StorageError, ConnectionError, OSError):
+                # NotPrimaryError cannot happen on reads; anything else
+                # (replica down, mid-stream disconnect) falls through to
+                # the next target, ending at the primary.
+                if index == len(targets) - 1:
+                    raise
+                self.read_fallbacks += 1
+
+    async def get(self, addr: bytes) -> Optional[bytes]:
+        """Latest value of ``addr`` from any replica (primary fallback)."""
+        return await self._read(lambda client: client.get(addr))
+
+    async def get_at(self, addr: bytes, blk: int) -> Optional[bytes]:
+        """Value of ``addr`` as of block ``blk`` from any replica."""
+        return await self._read(lambda client: client.get_at(addr, blk))
+
+    async def prov(
+        self, addr: bytes, blk_low: int, blk_high: int
+    ) -> Tuple[object, bytes]:
+        """Provenance from any replica — the proof self-verifies against
+        the ``Hstate`` digest it returns, replica or not."""
+        return await self._read(lambda client: client.prov(addr, blk_low, blk_high))
+
+    # -- write routing --------------------------------------------------------
+
+    async def _on_primary(self, issue):
+        try:
+            return await issue(self.primary)
+        except NotPrimaryError as exc:
+            # The configured primary is a replica: follow its referral.
+            self.redirects += 1
+            redirected = ServerClient(
+                *_parse_addr(exc.primary), pool_size=self.pool_size
+            )
+            await redirected.connect()
+            stale, self._primary = self._primary, redirected
+            if stale is not None:
+                await stale.close()
+            return await issue(self.primary)
+
+    async def put(self, addr: bytes, value: bytes) -> int:
+        """Write through the primary (follows NOT_PRIMARY referrals)."""
+        return await self._on_primary(lambda client: client.put(addr, value))
+
+    async def flush(self) -> RootInfo:
+        """Force a group commit on the primary."""
+        return await self._on_primary(lambda client: client.flush())
+
+    async def root(self) -> RootInfo:
+        """The primary's committed state anchor."""
+        return await self._on_primary(lambda client: client.root())
+
+    async def stats(self) -> dict:
+        """The primary's STATS."""
+        return await self._on_primary(lambda client: client.stats())
+
+    # -- replica health -------------------------------------------------------
+
+    async def replica_roots(self) -> List[RootInfo]:
+        """Every replica's current ROOT (for lag / equality checks)."""
+        return [await replica.root() for replica in self._replicas]
+
+    async def refresh_lag(self) -> List[int]:
+        """Re-measure replica lag; sideline replicas beyond ``max_lag``.
+
+        Returns the lag (in blocks) per replica.  With ``max_lag`` unset
+        this is measurement only — no replica is sidelined.
+        """
+        primary_height = (await self.root()).height
+        lags: List[int] = []
+        lagging: set = set()
+        for index, replica in enumerate(self._replicas):
+            try:
+                height = (await replica.root()).height
+                lag = max(0, primary_height - height)
+            except (StorageError, ConnectionError, OSError):
+                lag = -1  # unreachable counts as infinitely behind
+            lags.append(lag)
+            if self.max_lag is not None and (lag < 0 or lag > self.max_lag):
+                lagging.add(index)
+        self._lagging = lagging
+        return lags

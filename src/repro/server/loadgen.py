@@ -34,6 +34,7 @@ from typing import List, Optional, Tuple
 
 from repro.common.hashing import hash_bytes
 from repro.server.client import ServerClient
+from repro.server.protocol import NotPrimaryError
 from repro.workloads.ycsb import ZipfGenerator
 
 #: One op: ("get", addr, None) or ("put", addr, value).
@@ -155,6 +156,10 @@ def replay_writes(engine, params: LoadgenParams, puts_per_block: int = 256) -> N
 # running the load
 # =============================================================================
 
+#: How many distinct error messages a report keeps verbatim.
+MAX_ERROR_SAMPLES = 5
+
+
 @dataclass
 class LoadReport:
     """What one load-generation run measured."""
@@ -165,9 +170,23 @@ class LoadReport:
     reads: int = 0
     writes: int = 0
     errors: int = 0
+    #: error count per exception type name — a run that failed must say how.
+    errors_by_type: dict = field(default_factory=dict)
+    #: first few distinct error messages, verbatim.
+    error_samples: List[str] = field(default_factory=list)
     elapsed_s: float = 0.0
     latencies: List[float] = field(default_factory=list)  # per-op seconds
     server_stats: dict = field(default_factory=dict)
+
+    def record_error(self, exc: BaseException) -> None:
+        """Count one failed op, keeping its kind and a message sample."""
+        self.errors += 1
+        kind = type(exc).__name__
+        self.errors_by_type[kind] = self.errors_by_type.get(kind, 0) + 1
+        if len(self.error_samples) < MAX_ERROR_SAMPLES:
+            message = f"{kind}: {exc}"
+            if message not in self.error_samples:
+                self.error_samples.append(message)
 
     @property
     def throughput(self) -> float:
@@ -178,6 +197,27 @@ class LoadReport:
     def cache_hit_rate(self) -> float:
         """Read-cache hit rate reported by the server after the run."""
         return self.server_stats.get("cache", {}).get("hit_rate", 0.0)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable summary (``repro loadgen --json``)."""
+        from repro.bench.report import percentile
+
+        return {
+            "mode": self.mode,
+            "clients": self.clients,
+            "ops": self.ops,
+            "reads": self.reads,
+            "writes": self.writes,
+            "errors": self.errors,
+            "errors_by_type": dict(self.errors_by_type),
+            "error_samples": list(self.error_samples),
+            "elapsed_s": self.elapsed_s,
+            "ops_per_s": self.throughput,
+            "p50_s": percentile(self.latencies, 0.5) if self.latencies else 0.0,
+            "p99_s": percentile(self.latencies, 0.99) if self.latencies else 0.0,
+            "cache_hit_rate": self.cache_hit_rate,
+            "server_stats": self.server_stats,
+        }
 
 
 async def _issue(client: ServerClient, op: ClientOp) -> None:
@@ -196,8 +236,8 @@ async def _closed_worker(
             started = time.perf_counter()
             try:
                 await _issue(client, op)
-            except Exception:
-                report.errors += 1
+            except Exception as exc:  # count it, keep the evidence
+                report.record_error(exc)
                 continue
             report.latencies.append(time.perf_counter() - started)
             report.ops += 1
@@ -222,8 +262,8 @@ async def _open_worker(
         async def timed(op: ClientOp, scheduled: float) -> None:
             try:
                 await _issue(client, op)
-            except Exception:
-                report.errors += 1
+            except Exception as exc:  # count it, keep the evidence
+                report.record_error(exc)
                 return
             # Latency from the scheduled arrival: queueing counts.
             report.latencies.append(loop.time() - scheduled)
@@ -264,7 +304,10 @@ async def run_loadgen(host: str, port: int, params: LoadgenParams) -> LoadReport
     await asyncio.gather(*workers)
     report.elapsed_s = time.perf_counter() - started
     async with ServerClient(host, port) as control:
-        await control.flush()
+        try:
+            await control.flush()
+        except NotPrimaryError:
+            pass  # a replica target: its commits arrive via the stream
         report.server_stats = await control.stats()
     return report
 
@@ -285,6 +328,14 @@ def format_report(report: LoadReport) -> str:
         f"elapsed:         {format_seconds(report.elapsed_s)}",
         f"throughput:      {format_rate(report.ops, report.elapsed_s)}",
     ]
+    if report.errors:
+        kinds = ", ".join(
+            f"{kind} x{count}"
+            for kind, count in sorted(report.errors_by_type.items())
+        )
+        lines.append(f"errors:          {report.errors} ({kinds})")
+        for sample in report.error_samples:
+            lines.append(f"  e.g. {sample}")
     if report.latencies:
         lines.append(
             "latency:         "

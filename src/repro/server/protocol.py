@@ -12,17 +12,32 @@ big-endian.  Variable-length byte strings are encoded as ``u16 length``
 Ops
 ---
 
-========  =======================================  =========================
-op        request payload                          OK response payload
-========  =======================================  =========================
-PUT       addr16, value32                          u64 block height assigned
-GET       addr16                                   value32 (or NOT_FOUND)
-GET_AT    addr16, u64 blk                          value32 (or NOT_FOUND)
-PROV      addr16, u64 blk_low, u64 blk_high        blob32 (pickled result)
-ROOT      —                                        digest16, u64 ver, u64 blk
-STATS     —                                        blob32 (JSON, utf-8)
-FLUSH     —                                        digest16, u64 ver, u64 blk
-========  =======================================  =========================
+==============  ===================================  =========================
+op              request payload                      OK response payload
+==============  ===================================  =========================
+PUT             addr16, value32                      u64 block height assigned
+GET             addr16                               value32 (or NOT_FOUND)
+GET_AT          addr16, u64 blk                      value32 (or NOT_FOUND)
+PROV            addr16, u64 blk_low, u64 blk_high    blob32 (pickled result)
+ROOT            —                                    digest16, u64 ver, u64 blk
+STATS           —                                    blob32 (JSON, utf-8)
+FLUSH           —                                    digest16, u64 ver, u64 blk
+REPL_SUBSCRIBE  u64 start_height                     u64 primary height, then
+                                                     a stream of record frames
+==============  ===================================  =========================
+
+``REPL_SUBSCRIBE`` turns its connection into a one-way replication
+stream: after the handshake response the server sends an unbounded
+sequence of OK frames, each carrying exactly one raw WAL record
+(:mod:`repro.wal.record` framing, crc32 and all) for block heights above
+``start_height`` — PUTS batches followed by the COMMIT marker that seals
+them.  A server that cannot serve the stream answers the subscribe with
+an ERROR frame instead (replicas answer ``NOT_PRIMARY``).
+
+``NOT_PRIMARY`` is the write-rejection status of replica servers: its
+payload is the primary's ``host:port`` so a client can redirect.  The
+decoder raises it as :class:`NotPrimaryError` (the address parsed out)
+rather than a bare :class:`~repro.common.errors.StorageError`.
 
 ``PROV`` responses carry the engine's full provenance result (values,
 boundary version, and the authentication proof) as a pickle blob so the
@@ -61,6 +76,7 @@ class Op:
     ROOT = 5
     STATS = 6
     FLUSH = 7
+    REPL_SUBSCRIBE = 8
 
 
 class Status:
@@ -69,6 +85,16 @@ class Status:
     OK = 0
     NOT_FOUND = 1
     ERROR = 2
+    NOT_PRIMARY = 3
+
+
+class NotPrimaryError(StorageError):
+    """A write (or subscribe) hit a replica; redirect to ``primary``."""
+
+    def __init__(self, primary: str) -> None:
+        super().__init__(f"not the primary; writes go to {primary}")
+        #: ``host:port`` of the primary the replica follows.
+        self.primary = primary
 
 
 @dataclass(frozen=True)
@@ -167,6 +193,11 @@ def encode_simple(op: int) -> bytes:
     return encode_frame(bytes([op]))
 
 
+def encode_repl_subscribe(start_height: int) -> bytes:
+    """Subscribe to the primary's stream for heights > ``start_height``."""
+    return encode_frame(bytes([Op.REPL_SUBSCRIBE]) + _U64.pack(start_height))
+
+
 def decode_request(body: bytes) -> Tuple[int, tuple]:
     """Decode a request body into ``(opcode, args)``."""
     cursor = Cursor(body)
@@ -179,6 +210,8 @@ def decode_request(body: bytes) -> Tuple[int, tuple]:
         return op, (cursor.bytes16(), cursor.u64())
     if op == Op.PROV:
         return op, (cursor.bytes16(), cursor.u64(), cursor.u64())
+    if op == Op.REPL_SUBSCRIBE:
+        return op, (cursor.u64(),)
     if op in (Op.ROOT, Op.STATS, Op.FLUSH):
         return op, ()
     raise StorageError(f"unknown opcode {op}")
@@ -198,6 +231,11 @@ def encode_not_found() -> bytes:
 
 def encode_error(message: str) -> bytes:
     return encode_frame(bytes([Status.ERROR]) + message.encode("utf-8", "replace"))
+
+
+def encode_not_primary(primary: str) -> bytes:
+    """Replica write rejection; payload is the primary's ``host:port``."""
+    return encode_frame(bytes([Status.NOT_PRIMARY]) + primary.encode("utf-8"))
 
 
 def encode_value_response(value: Optional[bytes]) -> bytes:
@@ -225,12 +263,14 @@ def encode_blob_response(blob: bytes) -> bytes:
 
 
 def check_status(cursor: Cursor) -> int:
-    """Consume the status byte; raises on ERROR frames."""
+    """Consume the status byte; raises on ERROR / NOT_PRIMARY frames."""
     status = cursor.u8()
     if status == Status.ERROR:
         raise StorageError(
             f"server error: {cursor.data[cursor.pos:].decode('utf-8', 'replace')}"
         )
+    if status == Status.NOT_PRIMARY:
+        raise NotPrimaryError(cursor.data[cursor.pos:].decode("utf-8", "replace"))
     return status
 
 
@@ -261,6 +301,29 @@ def decode_blob_response(body: bytes) -> bytes:
 
 def decode_prov_response(body: bytes) -> object:
     return pickle.loads(decode_blob_response(body))
+
+
+def encode_repl_handshake(height: int) -> bytes:
+    """REPL_SUBSCRIBE accepted: the primary's committed height."""
+    return encode_ok(_U64.pack(height))
+
+
+def decode_repl_handshake(body: bytes) -> int:
+    cursor = Cursor(body)
+    check_status(cursor)
+    return cursor.u64()
+
+
+def encode_repl_record(record: bytes) -> bytes:
+    """One stream frame: an OK status wrapping one raw WAL record."""
+    return encode_ok(record)
+
+
+def decode_repl_record(body: bytes) -> bytes:
+    """Unwrap one stream frame back to the raw WAL record bytes."""
+    cursor = Cursor(body)
+    check_status(cursor)
+    return cursor.data[cursor.pos:]
 
 
 # =============================================================================

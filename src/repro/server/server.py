@@ -19,6 +19,17 @@ Request flow:
 * **PROV** first forces a group commit so the proof anchors to a
   committed ``Hstate``, then runs the engine's anchored provenance query.
 * **ROOT / STATS / FLUSH** are control-plane ops.
+* **REPL_SUBSCRIBE** (WAL-enabled primaries only) turns the connection
+  into a replication stream: catch-up from the on-disk WAL, then live
+  batches from the :class:`~repro.replication.ReplicationHub`.
+
+**Replica mode** (``replica_of=(host, port)``): the server runs no write
+batcher and no WAL of its own — a :class:`~repro.replication.ReplicaApplier`
+task tails the primary's stream and applies each commit through the
+engine, while GET / GET_AT / PROV / ROOT / STATS serve as usual and
+PUT / FLUSH are rejected with ``NOT_PRIMARY`` carrying the primary's
+address.  Applied commits bump the same cache epoch a local group commit
+would, so the versioned read cache stays exact.
 
 Each connection's requests are answered strictly in order, so clients
 may pipeline.  Engine work runs on a small thread pool; the engine's
@@ -133,6 +144,7 @@ class ColeServer:
         port: int = 0,
         config: Optional[ServerConfig] = None,
         wal=None,
+        replica_of: Optional[Tuple[str, int]] = None,
     ) -> None:
         """Wrap ``engine`` (a ``Cole`` or ``ShardedCole``); ``port=0``
         binds an ephemeral port (reported by :meth:`start`).
@@ -141,8 +153,19 @@ class ColeServer:
         the engine) makes the server durable: its unreplayed tail is
         replayed into the engine before the port binds, and every PUT is
         acknowledged only once its record is durable under the WAL's
-        sync policy.
+        sync policy.  A WAL-enabled server is also a replication
+        *primary*: replicas may subscribe to its record stream.
+
+        ``replica_of`` makes this server a read-only *replica* of the
+        primary at ``(host, port)``; replicas keep no WAL of their own
+        (their recovery source is the primary's stream), so the two
+        options are mutually exclusive.
         """
+        if replica_of is not None and wal is not None:
+            raise ValueError(
+                "a replica keeps no WAL of its own; recovery re-streams "
+                "from the primary"
+            )
         self.engine = engine
         self.host = host
         self.port = port
@@ -150,6 +173,10 @@ class ColeServer:
         self.wal = wal
         self.wal_syncer: Optional[_WalSyncer] = None
         self.replay_stats = None  # ReplayStats once start() recovered
+        self.replica_of = replica_of
+        self.replica = None  # ReplicaApplier in replica mode
+        self.hub = None  # ReplicationHub on a WAL-enabled primary
+        self._replica_task: Optional[asyncio.Task] = None
         self.cache = VersionedReadCache(self.config.cache_capacity)
         #: Commit version: the read-cache epoch, bumped per group commit.
         self.version = 0
@@ -160,7 +187,7 @@ class ColeServer:
         self._conn_writers: Set[asyncio.StreamWriter] = set()
         # Op counters (STATS).
         self.op_counts = {"put": 0, "get": 0, "get_at": 0, "prov": 0,
-                          "root": 0, "stats": 0, "flush": 0}
+                          "root": 0, "stats": 0, "flush": 0, "repl": 0}
         self.overlay_hits = 0
         self.connections_total = 0
 
@@ -179,18 +206,37 @@ class ColeServer:
             thread_name_prefix="cole-serve",
         )
         if self.wal is not None:
+            from repro.replication import ReplicationHub
             from repro.wal import replay_wal
 
             self.replay_stats = await self._run(replay_wal, self.engine, self.wal)
+            # Recovery re-commits blocks without writing COMMIT markers;
+            # re-mark them so a replica's catch-up scan can ship those
+            # heights (the roots are deterministic, so re-marking after
+            # every recovery is idempotent in content).
+            for height, root in sorted(self.replay_stats.replayed_roots.items()):
+                self.wal.append_commit(height, root)
+            if self.replay_stats.replayed_roots and self.wal.sync_policy != "none":
+                await self._run(self.wal.sync)
             self.wal_syncer = _WalSyncer(self.wal, self._run)
-        self.batcher = WriteBatcher(
-            self.engine,
-            max_batch=self.config.batch_max_puts,
-            max_delay=self.config.batch_max_delay,
-            run_in_executor=self._run,
-            on_commit=self._committed,
-            wal=self.wal,
-        )
+            self.hub = ReplicationHub(self.engine, self.wal)
+        if self.replica_of is not None:
+            from repro.replication import ReplicaApplier
+
+            self.replica = ReplicaApplier(self, *self.replica_of)
+            self._replica_task = asyncio.get_running_loop().create_task(
+                self.replica.run()
+            )
+        else:
+            self.batcher = WriteBatcher(
+                self.engine,
+                max_batch=self.config.batch_max_puts,
+                max_delay=self.config.batch_max_delay,
+                run_in_executor=self._run,
+                on_commit=self._committed,
+                wal=self.wal,
+                hub=self.hub,
+            )
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -216,6 +262,18 @@ class ColeServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._replica_task is not None:
+            self._replica_task.cancel()
+            try:
+                await self._replica_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._replica_task = None
+        if self.hub is not None:
+            # Wake every replication stream with the end-of-stream
+            # sentinel — their handlers park on queue.get(), which a
+            # closed transport alone cannot interrupt.
+            self.hub.close()
         # Closing the transports ends each handler's read loop at its
         # next frame boundary — no task cancellation, no half-written
         # responses.
@@ -238,6 +296,12 @@ class ColeServer:
         expire wholesale (they are only stale for written addresses, but
         those are covered by the overlay until this very instant)."""
         self.version += 1
+        self.cache.advance(self.version)
+
+    def _replica_committed(self, height: int, root) -> None:
+        """Replica-apply hook: an applied primary commit is this server's
+        group commit — same epoch bump, same cache invalidation."""
+        self._committed(height, root, 0)
 
     # =========================================================================
     # connection handling
@@ -259,6 +323,11 @@ class ColeServer:
                     break
                 try:
                     op, args = protocol.decode_request(body)
+                    if op == Op.REPL_SUBSCRIBE:
+                        # The connection becomes a one-way stream; when
+                        # the stream ends, so does the connection.
+                        await self._stream_replication(writer, args[0])
+                        break
                     response = await self._dispatch(op, args)
                 except asyncio.CancelledError:
                     raise
@@ -281,6 +350,9 @@ class ColeServer:
                 pass
 
     async def _dispatch(self, op: int, args: tuple) -> bytes:
+        if op in (Op.PUT, Op.FLUSH) and self.replica is not None:
+            self.op_counts["put" if op == Op.PUT else "flush"] += 1
+            return protocol.encode_not_primary(self.replica.primary_addr)
         if op == Op.PUT:
             self.op_counts["put"] += 1
             addr, value = args
@@ -317,11 +389,84 @@ class ColeServer:
         return protocol.encode_error(f"unknown opcode {op}")
 
     # =========================================================================
+    # replication streaming (primary side)
+    # =========================================================================
+
+    async def _stream_replication(
+        self, writer: asyncio.StreamWriter, start_height: int
+    ) -> None:
+        """Serve one REPL_SUBSCRIBE connection until it drops.
+
+        Order of operations is load-bearing: the queue registers
+        *before* the catch-up scan, so a commit landing in between is
+        seen by the scan (its marker is already on disk) or the queue or
+        both — and duplicates are collapsed by the ``last`` watermark,
+        which is sound because a height carries exactly one batch.
+        """
+        self.op_counts["repl"] += 1
+        if self.hub is None:
+            if self.replica is not None:
+                writer.write(protocol.encode_not_primary(self.replica.primary_addr))
+            else:
+                writer.write(
+                    protocol.encode_error(
+                        "replication requires a WAL-enabled primary "
+                        "(serve with --wal)"
+                    )
+                )
+            await writer.drain()
+            return
+        try:
+            self.hub.check_start(start_height)
+        except StorageError as exc:
+            writer.write(protocol.encode_error(str(exc)))
+            await writer.drain()
+            return
+        queue = self.hub.register()
+        # No await may separate the floor check, the registration, the
+        # committed-height capture, and this flag: together they pin
+        # every height above start_height — heights <= committed are
+        # fully on disk and truncation defers while the flag is up;
+        # later commits land in the queue.
+        committed = self.batcher.last_height
+        self.hub.catchups_active += 1
+        try:
+            try:
+                writer.write(protocol.encode_repl_handshake(committed))
+                await writer.drain()
+                batches = await self._run(self.hub.catchup, start_height, committed)
+            finally:
+                self.hub.catchups_active -= 1
+            last = start_height
+            for height, records in batches:
+                if height <= last:
+                    continue
+                for record in records:
+                    writer.write(protocol.encode_repl_record(record))
+                    self.hub.records_shipped += 1
+                await writer.drain()
+                last = height
+            while True:
+                batch = await queue.get()
+                if batch is None:  # server stopping
+                    return
+                height, records = batch
+                if height <= last:
+                    continue
+                for record in records:
+                    writer.write(protocol.encode_repl_record(record))
+                    self.hub.records_shipped += 1
+                await writer.drain()
+                last = height
+        finally:
+            self.hub.unregister(queue)
+
+    # =========================================================================
     # reads
     # =========================================================================
 
     async def _get(self, addr: bytes) -> Optional[bytes]:
-        buffered = self.batcher.lookup(addr)
+        buffered = self.batcher.lookup(addr) if self.batcher is not None else MISSING
         if buffered is not MISSING:
             self.overlay_hits += 1
             return buffered
@@ -334,7 +479,9 @@ class ColeServer:
         return value
 
     async def _get_at(self, addr: bytes, blk: int) -> Optional[bytes]:
-        buffered = self.batcher.lookup_at(addr, blk)
+        buffered = (
+            self.batcher.lookup_at(addr, blk) if self.batcher is not None else MISSING
+        )
         if buffered is not MISSING:
             self.overlay_hits += 1
             return buffered
@@ -349,8 +496,10 @@ class ColeServer:
     async def _prov(self, addr: bytes, blk_low: int, blk_high: int) -> bytes:
         # Anchor at a committed Hstate: buffered writes must be in the
         # engine before the proof is cut, or a range covering the open
-        # block would silently miss them.
-        await self.batcher.flush()
+        # block would silently miss them.  A replica buffers nothing —
+        # its engine state *is* its committed state.
+        if self.batcher is not None:
+            await self.batcher.flush()
         result, root = await self._run(
             self.engine.prov_query_anchored, addr, blk_low, blk_high
         )
@@ -362,6 +511,15 @@ class ColeServer:
     # =========================================================================
 
     async def _root_info(self) -> RootInfo:
+        if self.replica is not None:
+            root = self.replica.last_root
+            if root is None:
+                root = await self._run(self.engine.root_digest)
+            return RootInfo(
+                digest=root,
+                version=self.version,
+                height=self.replica.applied_height,
+            )
         if self.batcher.last_root is None:
             self.batcher.last_root = await self._run(self.engine.root_digest)
         return RootInfo(
@@ -375,22 +533,33 @@ class ColeServer:
         engine = self.engine
         storage = await self._run(engine.storage_bytes)
         num_shards = len(engine.shards) if hasattr(engine, "shards") else 1
+        committed = (
+            batcher.last_height
+            if batcher is not None
+            else self.replica.applied_height
+        )
         stats = {
             "ops": dict(self.op_counts),
             "connections_total": self.connections_total,
             "version": self.version,
-            "committed_height": batcher.last_height,
-            "open_height": batcher._next_height,
-            "buffered_puts": batcher.buffered,
+            "committed_height": committed,
+            "open_height": batcher._next_height if batcher is not None else committed,
+            "buffered_puts": batcher.buffered if batcher is not None else 0,
             "overlay_hits": self.overlay_hits,
-            "cache": {
-                "hits": self.cache.hits,
-                "misses": self.cache.misses,
-                "hit_rate": self.cache.hit_rate,
-                "entries": len(self.cache),
-                "capacity": self.cache.capacity,
+            # One locked snapshot: hits / misses / hit_rate are mutated by
+            # executor threads, so reading them field-by-field here could
+            # tear (a hit_rate computed from a hits/misses pair no single
+            # instant ever held).
+            "cache": self.cache.stats(),
+            "engine": {
+                "puts_total": engine.puts_total,
+                "storage_bytes": storage,
+                "disk_levels": engine.num_disk_levels(),
+                "shards": num_shards,
             },
-            "batcher": {
+        }
+        if batcher is not None:
+            stats["batcher"] = {
                 "commits": batcher.commits,
                 "batched_puts": batcher.batched_puts,
                 "avg_batch": (
@@ -399,14 +568,7 @@ class ColeServer:
                 "size_flushes": batcher.size_flushes,
                 "timer_flushes": batcher.timer_flushes,
                 "forced_flushes": batcher.forced_flushes,
-            },
-            "engine": {
-                "puts_total": engine.puts_total,
-                "storage_bytes": storage,
-                "disk_levels": engine.num_disk_levels(),
-                "shards": num_shards,
-            },
-        }
+            }
         engine_stats = getattr(engine, "stats", None)
         if engine_stats is not None:
             stats["io"] = {
@@ -418,6 +580,19 @@ class ColeServer:
             if self.replay_stats is not None:
                 stats["wal"]["replayed_blocks"] = self.replay_stats.blocks_replayed
                 stats["wal"]["replayed_puts"] = self.replay_stats.puts_replayed
+        if self.replica is not None:
+            stats["replication"] = self.replica.stats()
+        elif self.hub is not None:
+            stats["replication"] = {
+                "role": "primary",
+                "subscribers": self.hub.subscribers,
+                "subscribers_total": self.hub.subscribers_total,
+                "subscribers_evicted": self.hub.subscribers_evicted,
+                "batches_published": self.hub.batches_published,
+                "records_shipped": self.hub.records_shipped,
+                "applied_height": committed,
+                "availability_floor": self.hub.availability_floor(),
+            }
         return stats
 
 
@@ -438,8 +613,11 @@ class ServerThread:
         port: int = 0,
         config: Optional[ServerConfig] = None,
         wal=None,
+        replica_of: Optional[Tuple[str, int]] = None,
     ) -> None:
-        self.server = ColeServer(engine, host, port, config, wal=wal)
+        self.server = ColeServer(
+            engine, host, port, config, wal=wal, replica_of=replica_of
+        )
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         self._started = threading.Event()

@@ -39,6 +39,11 @@ class ReplayStats:
     first_height: int = -1
     last_height: int = -1
     commits_seen: Dict[int, bytes] = field(default_factory=dict)
+    #: height -> root of every block this replay re-committed.  Replayed
+    #: blocks have no COMMIT marker of their own in the WAL (recovery
+    #: does not write), so a primary that ships its WAL to replicas
+    #: re-marks them from this map before serving (see repro.replication).
+    replayed_roots: Dict[int, bytes] = field(default_factory=dict)
 
     @property
     def replayed_anything(self) -> bool:
@@ -85,9 +90,10 @@ def replay_wal(engine, wal: WriteAheadLog) -> ReplayStats:
             continue
         engine.begin_block(height)
         applied = _apply(engine, by_height[height], stats)
-        engine.commit_block()
+        root = engine.commit_block()
         if applied:
             stats.blocks_replayed += 1
+            stats.replayed_roots[height] = bytes(root)
             if stats.first_height < 0:
                 stats.first_height = height
             stats.last_height = height

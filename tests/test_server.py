@@ -131,6 +131,67 @@ def test_cache_hit_rate():
     assert cache.hit_rate == 0.5
 
 
+def test_cache_drops_puts_stamped_behind_the_epoch():
+    """A fill that raced a commit is dead on arrival: it can never hit,
+    so it must not be stored where it could evict a live entry."""
+    cache = VersionedReadCache(capacity=4)
+    cache.advance(2)
+    cache.put(b"stale", 1, b"dead")
+    assert len(cache) == 0
+    assert cache.get(b"stale", 1) == (False, None)
+    # Live entries fill the cache; a stale put must not displace them.
+    for key in (b"a", b"b", b"c", b"d"):
+        cache.put(key, 2, b"live")
+    cache.put(b"stale", 0, b"dead")
+    assert len(cache) == 4
+    for key in (b"a", b"b", b"c", b"d"):
+        assert cache.get(key, 2) == (True, b"live")
+    # Entries stamped exactly at the floor are current and stay valid.
+    cache.put(b"e", 2, b"live")
+    assert cache.get(b"e", 2) == (True, b"live")
+
+
+def test_cache_stats_snapshot_consistent_under_concurrent_mutation():
+    """stats() must be one locked snapshot: hits + misses == lookups and
+    hit_rate derives from that same pair in every observation, even while
+    executor-like threads hammer the counters."""
+    import threading
+
+    cache = VersionedReadCache(capacity=64)
+    stop = threading.Event()
+    epoch = [0]
+
+    def churn(tid):
+        n = 0
+        while not stop.is_set():
+            version = epoch[0]
+            cache.put((tid, n % 97), version, b"v")
+            cache.get((tid, n % 97), version)  # mostly hits
+            cache.get((tid, (n + 13) % 89, "miss"), version)
+            n += 1
+
+    def commit():
+        while not stop.is_set():
+            epoch[0] += 1
+            cache.advance(epoch[0])
+
+    threads = [threading.Thread(target=churn, args=(t,)) for t in range(3)]
+    threads.append(threading.Thread(target=commit))
+    for thread in threads:
+        thread.start()
+    try:
+        for _ in range(500):
+            snap = cache.stats()
+            assert snap["lookups"] == snap["hits"] + snap["misses"]
+            if snap["lookups"]:
+                assert snap["hit_rate"] == snap["hits"] / snap["lookups"]
+            assert 0 <= snap["entries"] <= snap["capacity"]
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join()
+
+
 # =============================================================================
 # server end-to-end (real sockets)
 # =============================================================================
@@ -473,7 +534,7 @@ def test_stats_op_shape(tmp_path):
             assert stats["engine"]["shards"] == 1
             assert stats["committed_height"] == 1
             assert set(stats["cache"]) == {
-                "hits", "misses", "hit_rate", "entries", "capacity",
+                "hits", "misses", "lookups", "hit_rate", "entries", "capacity",
             }
             assert "page_reads" in stats["io"]
 
@@ -529,3 +590,150 @@ def test_server_config_validation():
         LoadgenParams(mode="open", rate=0)
     with pytest.raises(ValueError):
         VersionedReadCache(capacity=0)
+
+
+# =============================================================================
+# loadgen error surfacing (regression: silent failure swallowing)
+# =============================================================================
+
+class _FaultyServerThread:
+    """A protocol-speaking server that fails every Nth data op.
+
+    Runs on its own event-loop thread so both in-loop callers
+    (``run_loadgen``) and blocking callers (``repro loadgen``, which
+    owns its own ``asyncio.run``) can be driven against it.
+    """
+
+    def __init__(self, every: int = 3) -> None:
+        self.every = every
+        self.data_ops = 0
+        self._loop = None
+        self._server = None
+        self._addr = None
+        self._thread = None
+        self._ready = None
+
+    async def _handle(self, reader, writer):
+        import json as json_mod
+
+        while True:
+            body = await protocol.read_frame(reader)
+            if body is None:
+                break
+            op, _args = protocol.decode_request(body)
+            if op in (Op.PUT, Op.GET, Op.GET_AT):
+                self.data_ops += 1
+                if self.data_ops % self.every == 0:
+                    writer.write(protocol.encode_error("injected fault"))
+                elif op == Op.PUT:
+                    writer.write(protocol.encode_height_response(1))
+                else:
+                    writer.write(protocol.encode_value_response(None))
+            elif op in (Op.ROOT, Op.FLUSH):
+                writer.write(
+                    protocol.encode_root_response(RootInfo(b"\x00" * 8, 0, 0))
+                )
+            else:
+                writer.write(
+                    protocol.encode_blob_response(json_mod.dumps({}).encode())
+                )
+            await writer.drain()
+        writer.close()
+
+    def start(self):
+        import threading
+
+        self._ready = threading.Event()
+
+        def run():
+            async def main():
+                self._server = await asyncio.start_server(
+                    self._handle, "127.0.0.1", 0
+                )
+                self._addr = self._server.sockets[0].getsockname()[:2]
+                self._loop = asyncio.get_running_loop()
+                self._ready.set()
+                async with self._server:
+                    try:
+                        await self._server.serve_forever()
+                    except asyncio.CancelledError:
+                        pass
+
+            asyncio.run(main())
+
+        self._thread = threading.Thread(target=run, daemon=True)
+        self._thread.start()
+        assert self._ready.wait(timeout=10.0)
+        return self._addr
+
+    def stop(self):
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(
+                lambda: [task.cancel() for task in asyncio.all_tasks(self._loop)]
+            )
+        self._thread.join(timeout=10.0)
+
+
+def test_loadgen_counts_and_samples_op_errors():
+    """Every 3rd data op fails: the report must carry the count, the
+    exception kind, and a verbatim sample — not a clean throughput."""
+    from repro.server import format_report
+
+    faulty = _FaultyServerThread(every=3)
+    host, port = faulty.start()
+    try:
+        params = LoadgenParams(clients=3, ops_per_client=30, seed=5)
+        report = asyncio.run(run_loadgen(host, port, params))
+    finally:
+        faulty.stop()
+    total = 3 * 30
+    assert report.errors > 0
+    assert report.ops + report.errors == total
+    assert report.errors_by_type.get("StorageError") == report.errors
+    assert any("injected fault" in sample for sample in report.error_samples)
+    text = format_report(report)
+    assert "errors:" in text
+    assert "injected fault" in text
+    payload = report.to_dict()
+    assert payload["errors"] == report.errors
+    assert payload["errors_by_type"] == report.errors_by_type
+
+
+def test_repro_loadgen_exits_nonzero_when_ops_error(capsys):
+    """CLI contract: a run that saw op errors must not exit 0."""
+    import json as json_mod
+
+    from repro.cli import main as cli_main
+
+    faulty = _FaultyServerThread(every=4)
+    host, port = faulty.start()
+    try:
+        rc = cli_main([
+            "loadgen", "--host", host, "--port", str(port),
+            "--clients", "2", "--ops", "12", "--json",
+        ])
+    finally:
+        faulty.stop()
+    assert rc == 1
+    payload = json_mod.loads(capsys.readouterr().out)
+    assert payload["errors"] > 0
+    assert payload["errors_by_type"]
+    assert payload["error_samples"]
+
+
+def test_repro_loadgen_exits_zero_on_clean_run(tmp_path, capsys):
+    from repro.cli import main as cli_main
+
+    engine = Cole(
+        str(tmp_path / "ws"),
+        ColeParams(async_merge=True, mem_capacity=512),  # loadgen's 32B addrs
+    )
+    with serve(engine, batch_max_puts=64, batch_max_delay=0.005) as thread:
+        host, port = thread.start()
+        rc = cli_main([
+            "loadgen", "--host", host, "--port", str(port),
+            "--clients", "2", "--ops", "15", "--num-keys", "64",
+        ])
+    engine.close()
+    assert rc == 0
+    assert "0 errors" in capsys.readouterr().out
