@@ -32,6 +32,7 @@ TRACKED = {
     "sharding": ("shards", "puts_per_s"),
     "service": ("clients", "ops_per_s"),
     "durability": ("policy", "ops_per_s"),
+    "scan": ("scan_len", "scans_per_s"),
 }
 
 

@@ -1,11 +1,11 @@
 """Reduced-scale smoke benchmarks feeding the CI regression gate.
 
-Runs the sharding, service, durability, and replication experiments at
-a scale sized for a CI minute, prints their series, and writes one JSON
-file that ``check_regression.py`` compares against
-``baselines/smoke.json`` (the replication section is asserted for root
-equality here rather than throughput-gated — process spawn timing is too
-noisy for a floor).
+Runs the sharding, service, durability, scan (fig20 smoke path), and
+replication experiments at a scale sized for a CI minute, prints their
+series, and writes one JSON file that ``check_regression.py`` compares
+against ``baselines/smoke.json`` (the replication section is asserted
+for root equality here rather than throughput-gated — process spawn
+timing is too noisy for a floor).
 
 Usage::
 
@@ -20,6 +20,7 @@ import sys
 from repro.bench.experiments import (
     run_durability,
     run_read_scaling,
+    run_scan_throughput,
     run_service_throughput,
     run_sharding_scalability,
 )
@@ -34,6 +35,17 @@ def main(argv) -> int:
     )
     durability = run_durability(
         policies=("off", "batch"), clients=8, ops_per_client=100, num_keys=512
+    )
+    # fig20 smoke: single-engine range scans, gated on scans/s; the
+    # driver verifies every configuration against a brute-force model
+    # (latest and at_blk) before timing anything.
+    scan = run_scan_throughput(
+        shard_counts=(1,),
+        scan_lengths=(8, 64),
+        num_addresses=1024,
+        blocks=48,
+        puts_per_block=128,
+        scans_per_point=120,
     )
     # fig19 smoke: 1 primary + 1 replica; the driver raises unless the
     # replica's root is byte-identical to the primary's at every wave.
@@ -50,6 +62,7 @@ def main(argv) -> int:
         ("sharding", sharding),
         ("service", service),
         ("durability", durability),
+        ("scan", scan),
         ("replication", replication),
     ):
         print(f"\n-- {name} --")
@@ -64,6 +77,7 @@ def main(argv) -> int:
                 "sharding": sharding,
                 "service": service,
                 "durability": durability,
+                "scan": scan,
                 "replication": replication,
             },
             handle,

@@ -8,6 +8,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli serve /path/to/workspace --port 7407 [--shards 4] [--wal]
     python -m repro.cli serve /path/to/replica --replica-of 127.0.0.1:7407
     python -m repro.cli loadgen --port 7407 --clients 32 --ops 200 [--json]
+    python -m repro.cli loadgen --port 7407 --workload E [--scan-len 50]
     python -m repro.cli snapshot /path/to/workspace /path/to/snapshot
     python -m repro.cli restore /path/to/snapshot /path/to/new-workspace
 """
@@ -33,6 +34,7 @@ _EXPERIMENTS = {
     "fig17": ("run_service_throughput", {}),
     "fig18": ("run_durability", {}),
     "fig19": ("run_read_scaling", {}),
+    "fig20": ("run_scan_throughput", {}),
     "table1": ("run_complexity_table", {}),
     "index-share": ("run_index_share", {}),
 }
@@ -359,15 +361,25 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     """
     from repro.server import LoadgenParams, format_report, run_loadgen_sync
 
-    params = LoadgenParams(
+    kwargs = dict(
         clients=args.clients,
         ops_per_client=args.ops,
-        read_fraction=args.read_fraction,
         num_keys=args.num_keys,
+        scan_length=args.scan_len,
         mode=args.mode,
         rate=args.rate,
         seed=args.seed,
     )
+    if args.workload:
+        # A YCSB workload letter presets the op mix (E = scan heavy);
+        # explicit fractions would contradict it.
+        params = LoadgenParams.for_workload(args.workload, **kwargs)
+    else:
+        params = LoadgenParams(
+            read_fraction=args.read_fraction,
+            scan_fraction=args.scan_frac,
+            **kwargs,
+        )
     report = run_loadgen_sync(args.host, args.port, params)
     if args.json:
         import json
@@ -484,6 +496,25 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--clients", type=int, default=32)
     loadgen.add_argument("--ops", type=int, default=200, help="ops per client")
     loadgen.add_argument("--read-fraction", type=float, default=0.5)
+    loadgen.add_argument(
+        "--scan-frac",
+        type=float,
+        default=0.0,
+        help="fraction of ops that are key-ordered range scans",
+    )
+    loadgen.add_argument(
+        "--scan-len",
+        type=int,
+        default=16,
+        help="max results per scan (lengths draw uniformly from [1, N])",
+    )
+    loadgen.add_argument(
+        "--workload",
+        choices=tuple("ABCE") + tuple("abce"),
+        default=None,
+        help="YCSB workload letter preset (E = scan heavy); overrides "
+        "--read-fraction/--scan-frac",
+    )
     loadgen.add_argument("--num-keys", type=int, default=1024)
     loadgen.add_argument(
         "--mode", choices=("closed", "open"), default="closed", help="loop discipline"

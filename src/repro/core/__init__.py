@@ -13,6 +13,7 @@ Public surface:
 """
 
 from repro.core.compound import CompoundKey, MAX_BLK
+from repro.core.cursor import Cursor, MergingCursor, addr_successor
 from repro.core.storage import Cole
 from repro.core.proofs import ProvenanceProof, ProvenanceResult
 from repro.core.verify import verify_provenance
@@ -22,6 +23,9 @@ __all__ = [
     "Cole",
     "rewind_to",
     "CompoundKey",
+    "Cursor",
+    "MergingCursor",
+    "addr_successor",
     "MAX_BLK",
     "ProvenanceProof",
     "ProvenanceResult",

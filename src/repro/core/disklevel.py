@@ -74,3 +74,10 @@ class DiskLevel:
         """Every committed run in ``root_hash_list`` order (writing group
         oldest-first, then merging group oldest-first)."""
         return list(self.writing.runs) + list(self.merging.runs)
+
+    def cursor(self):
+        """Merged key-ordered cursor over every committed run of this
+        level, freshness-ordered (``repro.core.cursor``)."""
+        from repro.core.cursor import MergingCursor
+
+        return MergingCursor([run.cursor() for run in self.search_order()])

@@ -41,6 +41,12 @@ class MemGroup:
         """Largest entry with key <= ``key`` (Algorithm 6 line 4)."""
         return self.tree.floor_search(key)
 
+    def cursor(self):
+        """Key-ordered cursor over this group (``repro.core.cursor``)."""
+        from repro.core.cursor import MemCursor
+
+        return MemCursor(self)
+
     def range_proof(self, low: int, high: int) -> Tuple[List[Entry], MBTreeProof]:
         """Authenticated range scan for provenance queries (Algorithm 8)."""
         return self.tree.range_proof(low, high)

@@ -29,6 +29,7 @@ def rewind_to(cole, target_blk: int) -> int:
     """
     if target_blk < 0:
         raise ValueError("cannot rewind to a negative block height")
+    cole._sources_cache = None  # runs are filtered and rebuilt below
     cole.wait_for_merges()
     _discard_pending(cole)
     dropped = 0

@@ -77,6 +77,7 @@ class Run:
             num_entries,
             params.mht_fanout,
         )
+        self._key_range: Optional[Tuple[int, int]] = None  # lazy, immutable
 
     # -- construction -----------------------------------------------------------
 
@@ -175,19 +176,41 @@ class Run:
         value_file = self.value_file
         last_page = value_file.page_of(self.num_entries - 1)
         page = min(max(predicted, 0), self.num_entries - 1) // value_file.pairs_per_page
-        entries = value_file.read_page_entries(page)
-        while key < entries[0][0] and page > 0:
+        first_key, last_key = value_file.page_bounds(page)
+        while key < first_key and page > 0:
             page -= 1
-            entries = value_file.read_page_entries(page)
-        if key < entries[0][0]:
+            first_key, last_key = value_file.page_bounds(page)
+        if key < first_key:
             return None
-        if key > entries[-1][0] and page < last_page:
-            next_entries = value_file.read_page_entries(page + 1)
-            if key >= next_entries[0][0]:
+        if key > last_key and page < last_page:
+            next_first, _next_last = value_file.page_bounds(page + 1)
+            if key >= next_first:
                 page += 1
-                entries = next_entries
         found = value_file.floor_in_page(page, key)
         return found
+
+    def cursor(self):
+        """Key-ordered streaming cursor over this run
+        (``repro.core.cursor``): one index descent to seek, then
+        page-sequential value-file reads."""
+        from repro.core.cursor import RunCursor
+
+        return RunCursor(self)
+
+    def key_range(self) -> Tuple[int, int]:
+        """Smallest and largest compound key stored in this run.
+
+        Two page reads on first use, then served from memory (the run
+        is immutable) — the range-pruning probe of the scan path.
+        """
+        cached = self._key_range
+        if cached is None:
+            cached = (
+                self.value_file.entry_at(0)[0],
+                self.value_file.entry_at(self.num_entries - 1)[0],
+            )
+            self._key_range = cached
+        return cached
 
     def prov_scan(self, key_low: int, key_high: int) -> RunScan:
         """Disclose the pairs covering ``[key_low, key_high]`` with proof.

@@ -28,6 +28,7 @@ from repro.common.gate import CommitGate
 from repro.common.hashing import Digest, hash_concat
 from repro.common.params import ColeParams
 from repro.core.compound import CompoundKey, MAX_BLK, addr_of_int, blk_of_int
+from repro.core.cursor import ReadSource, ScanTriple, scan_sources
 from repro.core.disklevel import DiskLevel, PendingMerge
 from repro.core.manifest import Manifest, RunRecord, load_manifest, save_manifest
 from repro.core.memlevel import MemGroup
@@ -75,6 +76,10 @@ class Cole:
         # half-switched group or a deleted run (see repro.common.gate).
         self.gate = CommitGate()
         self.levels: List[DiskLevel] = []  # levels[i] is on-disk level i+1
+        # Memoized read-path enumeration (see _read_sources): membership
+        # and labels only change under the exclusive gate, so mutators
+        # drop the cache and concurrent readers rebuild it idempotently.
+        self._sources_cache: Optional[List[ReadSource]] = None
         self.current_blk = 0
         self.puts_total = 0
         self._run_seq = 0
@@ -162,6 +167,7 @@ class Cole:
     # -- synchronous merge (Algorithm 1) ---------------------------------------
 
     def _sync_cascade(self) -> None:
+        self._sources_cache = None  # membership changes below
         entries = self.mem_writing.drain()
         if not entries:  # forced cascade on an empty L0 is a no-op
             return
@@ -194,6 +200,7 @@ class Cole:
     # -- asynchronous merge (Algorithm 5) ----------------------------------------
 
     def _async_cascade(self) -> None:
+        self._sources_cache = None  # groups swap / runs attach below
         self._checkpoint_mem()
         obsolete: List[Run] = []
         index = 0
@@ -341,31 +348,85 @@ class Cole:
             return self._lookup(CompoundKey(addr=addr, blk=blk).to_int(), addr)
 
     def _lookup(self, key: int, addr: bytes) -> Optional[bytes]:
-        """Floor-search every structure in freshness order (Algorithm 6):
+        """Floor-search every source in freshness order (Algorithm 6):
         the newest entry for ``addr`` with compound key <= ``key``."""
         addr_size = self._addr_size()
-        for group in self._mem_groups():
-            found = group.floor_search(key)
+        for source in self._read_sources():
+            if not source.may_contain(addr):
+                continue
+            found = source.floor_search(key)
             if found is not None and addr_of_int(found[0], addr_size) == addr:
                 return found[1]
-        for run in self._run_search_order():
-            if not run.may_contain(addr):
-                continue
-            found = run.floor_search(key)
-            if found is not None and addr_of_int(found[0][0], addr_size) == addr:
-                return found[0][1]
         return None
 
-    def _mem_groups(self) -> List[MemGroup]:
-        if self.params.async_merge:
-            return [self.mem_writing, self.mem_merging]
-        return [self.mem_writing]
+    def _read_sources(self) -> List[ReadSource]:
+        """Every sorted source in Algorithm 6's search order (newest
+        first), labeled as in ``root_hash_list``.
 
-    def _run_search_order(self) -> List[Run]:
-        runs: List[Run] = []
+        The one definition of the read path's traversal order: point
+        lookups, provenance queries, and range-scan cursors all walk
+        this list, so the three paths cannot drift apart.  Must be used
+        under the gate.  Memoized between commit checkpoints — group
+        membership, roles, and mem-group identities change only under
+        the exclusive gate, whose holders drop the cache; rebuilding is
+        idempotent, so racing shared-gate readers are fine.
+        """
+        sources = self._sources_cache
+        if sources is not None:
+            return sources
+        sources = [ReadSource.mem("mem:w", self.mem_writing)]
+        if self.params.async_merge:
+            sources.append(ReadSource.mem("mem:m", self.mem_merging))
         for level in self.levels:
-            runs.extend(level.search_order())
-        return runs
+            for role, group in (("w", level.writing), ("m", level.merging)):
+                for run in group.newest_first():
+                    sources.append(ReadSource.run(f"run:{run.name}:{role}", run))
+        self._sources_cache = sources
+        return sources
+
+    # -- range scans (cursor layer) -----------------------------------------------
+
+    def scan(
+        self,
+        addr_low: bytes,
+        addr_high: bytes,
+        *,
+        at_blk: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> List[ScanTriple]:
+        """Key-ordered range scan: the live version of every address in
+        ``[addr_low, addr_high]`` (inclusive), ascending.
+
+        Returns ``(addr, blk, value)`` triples — ``blk`` is the height
+        the returned version was written at.  ``at_blk`` scans the
+        historical state as of that block (default: latest); ``limit``
+        caps the number of addresses returned, which with
+        :func:`repro.core.cursor.addr_successor` over the last returned
+        address is the paging primitive the serving layer's
+        continuation protocol builds on.  Runs under the gate shared
+        for the whole scan, like every other query.
+        """
+        addr_size = self._addr_size()
+        if len(addr_low) != addr_size or len(addr_high) != addr_size:
+            raise StorageError(f"scan bounds must be {addr_size}-byte addresses")
+        if addr_low > addr_high:
+            raise StorageError("empty address range")
+        resolved_at = MAX_BLK if at_blk is None else at_blk
+        if not 0 <= resolved_at <= MAX_BLK:
+            raise StorageError(f"block height out of range: {at_blk}")
+        if limit is not None and limit <= 0:
+            return []
+        key_low = CompoundKey(addr=addr_low, blk=0).to_int()
+        key_high = CompoundKey(addr=addr_high, blk=MAX_BLK).to_int()
+        with self.gate.shared():
+            return scan_sources(
+                self._read_sources(),
+                key_low,
+                key_high,
+                at_blk=resolved_at,
+                addr_size=addr_size,
+                limit=limit,
+            )
 
     # -- provenance queries (Algorithm 8) ----------------------------------------
 
@@ -412,38 +473,35 @@ class Cole:
                     saw_older = True
             return saw_older
 
-        mem_labels = ["mem:w", "mem:m"] if self.params.async_merge else ["mem:w"]
-        for label, group in zip(mem_labels, self._mem_groups()):
+        # One pass over the unified read-path enumeration — the same
+        # freshness order gets and scans traverse (Algorithm 8 rides
+        # Algorithm 6's search order).
+        for source in self._read_sources():
             if early_stop:
                 break
-            entries, proof = group.range_proof(key_low, key_high)
-            items_by_label[label] = MemProofItem(proof=proof)
-            if note_entries(entries):
-                early_stop = True
-
-        for level in self.levels:
-            if early_stop:
-                break
-            for run in level.search_order():
-                if early_stop:
-                    break
-                label = self._run_label(run, level)
-                if not run.may_contain(addr):
-                    items_by_label[label] = RunNegativeItem(
-                        bloom_bytes=run.bloom.to_bytes(), merkle_root=run.merkle_root
-                    )
-                    continue
-                scan = run.prov_scan(key_low, key_high)
-                items_by_label[label] = RunProofItem(
-                    entries=scan.entries,
-                    lo=scan.lo,
-                    hi=scan.hi,
-                    num_entries=run.num_entries,
-                    merkle_proof=scan.proof,
-                    bloom_digest=run.bloom.digest(),
-                )
-                if note_entries(scan.entries):
+            if source.kind == "mem":
+                entries, proof = source.source.range_proof(key_low, key_high)
+                items_by_label[source.label] = MemProofItem(proof=proof)
+                if note_entries(entries):
                     early_stop = True
+                continue
+            run = source.source
+            if not run.may_contain(addr):
+                items_by_label[source.label] = RunNegativeItem(
+                    bloom_bytes=run.bloom.to_bytes(), merkle_root=run.merkle_root
+                )
+                continue
+            scan = run.prov_scan(key_low, key_high)
+            items_by_label[source.label] = RunProofItem(
+                entries=scan.entries,
+                lo=scan.lo,
+                hi=scan.hi,
+                num_entries=run.num_entries,
+                merkle_proof=scan.proof,
+                bloom_digest=run.bloom.digest(),
+            )
+            if note_entries(scan.entries):
+                early_stop = True
 
         items: List[ProofItem] = []
         for label, digest in self._root_hash_list():
@@ -459,10 +517,6 @@ class Cole:
         older = [(blk, value) for blk, value in found.items() if blk < blk_low]
         boundary = max(older) if older else None
         return ProvenanceResult(versions=versions, boundary_version=boundary, proof=proof)
-
-    def _run_label(self, run: Run, level: DiskLevel) -> str:
-        role = "w" if run in level.writing.runs else "m"
-        return f"run:{run.name}:{role}"
 
     # =========================================================================
     # accounting / lifecycle
@@ -483,6 +537,7 @@ class Cole:
         from repro.core.rewind import rewind_to
 
         with self.gate.exclusive():
+            self._sources_cache = None  # levels are rebuilt wholesale
             return rewind_to(self, target_blk)
 
     def close(self) -> None:

@@ -8,7 +8,6 @@ bound ε is derived from (2ε = one page of pairs).
 
 from __future__ import annotations
 
-import bisect
 from typing import Iterable, Iterator, List, Optional, Tuple
 
 from repro.common.errors import StorageError
@@ -61,60 +60,108 @@ class ValueFileWriter:
 
 
 class ValueFile:
-    """Read access to a finished value file of ``num_entries`` pairs."""
+    """Read access to a finished value file of ``num_entries`` pairs.
+
+    Decoding is deliberately lazy: page reads return raw bytes, and
+    pairs are materialized one slot at a time only when a caller
+    consumes them.  Floor searches binary-search the *raw* page (a
+    handful of key decodes) instead of materializing every pair on it —
+    page decode was the dominant cost of the whole read path.
+    """
 
     def __init__(self, file: PagedFile, num_entries: int, params: SystemParams) -> None:
         self._file = file
         self._params = params
         self.num_entries = num_entries
+        # Hoisted off every decode: the frozen-dataclass properties cost
+        # a call per access, and a scan decodes many pairs.
+        self._pairs_per_page = params.pairs_per_page
+        self._pair_size = params.pair_size
+        self._key_size = params.key_size
 
     @property
     def pairs_per_page(self) -> int:
         """Pairs per page (``2ε``)."""
-        return self._params.pairs_per_page
+        return self._pairs_per_page
 
     def page_of(self, position: int) -> int:
         """Page id holding the pair at ``position``."""
-        return position // self.pairs_per_page
+        return position // self._pairs_per_page
+
+    def _page_count(self, page_id: int) -> int:
+        """Number of pairs stored on ``page_id``."""
+        return min(self._pairs_per_page, self.num_entries - page_id * self._pairs_per_page)
+
+    def _slot_key(self, data: bytes, slot: int) -> int:
+        offset = slot * self._pair_size
+        return int.from_bytes(data[offset : offset + self._key_size], "big")
+
+    def _slot_entry(self, data: bytes, slot: int) -> Entry:
+        offset = slot * self._pair_size
+        return (
+            int.from_bytes(data[offset : offset + self._key_size], "big"),
+            data[offset + self._key_size : offset + self._pair_size],
+        )
 
     def read_page_entries(self, page_id: int) -> List[Entry]:
         """Decode all pairs stored on ``page_id`` (one page read)."""
         data = self._file.read_page(page_id)
-        first = page_id * self.pairs_per_page
-        count = min(self.pairs_per_page, self.num_entries - first)
+        count = self._page_count(page_id)
         if count <= 0:
             raise StorageError(f"page {page_id} has no entries")
-        return [_decode_pair(data, slot, self._params) for slot in range(count)]
+        return [self._slot_entry(data, slot) for slot in range(count)]
 
     def entry_at(self, position: int) -> Entry:
         """The pair at ``position`` (one page read, minus cache hits)."""
         if not 0 <= position < self.num_entries:
             raise StorageError(f"position {position} out of range")
-        entries = self.read_page_entries(self.page_of(position))
-        return entries[position % self.pairs_per_page]
+        data = self._file.read_page(self.page_of(position))
+        return self._slot_entry(data, position % self._pairs_per_page)
+
+    def page_bounds(self, page_id: int) -> Tuple[int, int]:
+        """``(first_key, last_key)`` of ``page_id`` — one page read, two
+        key decodes (the page-stepping probe of Algorithm 7)."""
+        data = self._file.read_page(page_id)
+        count = self._page_count(page_id)
+        if count <= 0:
+            raise StorageError(f"page {page_id} has no entries")
+        return self._slot_key(data, 0), self._slot_key(data, count - 1)
 
     def floor_in_page(self, page_id: int, key: int) -> Optional[Tuple[Entry, int]]:
-        """Largest pair on ``page_id`` with pair key <= ``key``, if any."""
-        entries = self.read_page_entries(page_id)
-        keys = [entry[0] for entry in entries]
-        index = bisect.bisect_right(keys, key) - 1
-        if index < 0:
+        """Largest pair on ``page_id`` with pair key <= ``key``, if any.
+
+        Binary search over the raw page: ~log2(pairs_per_page) key
+        decodes plus one pair decode for the hit.
+        """
+        data = self._file.read_page(page_id)
+        count = self._page_count(page_id)
+        lo, hi = 0, count
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._slot_key(data, mid) <= key:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == 0:
             return None
-        return entries[index], page_id * self.pairs_per_page + index
+        slot = lo - 1
+        return self._slot_entry(data, slot), page_id * self._pairs_per_page + slot
 
     def scan_from(self, position: int) -> Iterator[Tuple[Entry, int]]:
         """Yield ``(pair, position)`` sequentially starting at ``position``.
 
-        Used by provenance queries (Algorithm 8 lines 14-17): after the
-        learned index locates the first result, the value file is scanned
-        forward page by page.
+        The streaming read of provenance queries (Algorithm 8 lines
+        14-17) and of every run cursor: one page read per
+        ``pairs_per_page`` pairs, each pair decoded only when the
+        consumer actually pulls it (a limit-bounded scan stops paying
+        mid-page).
         """
         page_id = self.page_of(position)
         while position < self.num_entries:
-            entries = self.read_page_entries(page_id)
-            start_slot = position - page_id * self.pairs_per_page
-            for slot in range(start_slot, len(entries)):
-                yield entries[slot], position
+            data = self._file.read_page(page_id)
+            first = page_id * self._pairs_per_page
+            for slot in range(position - first, self._page_count(page_id)):
+                yield self._slot_entry(data, slot), position
                 position += 1
             page_id += 1
 
@@ -127,13 +174,6 @@ class ValueFile:
 def _encode_pair(key: int, value: bytes, params: SystemParams) -> bytes:
     addr_and_blk = key.to_bytes(params.key_size, "big")
     return addr_and_blk + value
-
-
-def _decode_pair(page: bytes, slot: int, params: SystemParams) -> Entry:
-    offset = slot * params.pair_size
-    key = int.from_bytes(page[offset : offset + params.key_size], "big")
-    value = page[offset + params.key_size : offset + params.pair_size]
-    return key, value
 
 
 def write_value_file(

@@ -52,13 +52,20 @@ class PagedFile:
         mode = "r+b" if os.path.exists(path) else ("w+b" if create else None)
         if mode is None:
             raise StorageError(f"paged file does not exist: {path}")
-        self._file = open(path, mode)
+        # Unbuffered: writes reach the OS immediately (they are already
+        # page-granular, so buffering saved no syscalls), which is what
+        # lets reads use positional ``os.pread`` on the descriptor with
+        # no user-space buffer to go stale behind it.
+        self._file = open(path, mode, buffering=0)
+        self._fd = self._file.fileno()
         self._num_pages = os.path.getsize(path) // page_size
         self._cache: "OrderedDict[int, bytes]" = OrderedDict()
         self._cache_capacity = cache_pages
         self._closed = False
-        # Queries (main thread) and background merges (Algorithm 5) may
-        # read the same handle concurrently; seek+read must be atomic.
+        # Guards cache bookkeeping and the write-side file position
+        # only.  Reads are positional (pread) and lock-free past the
+        # cache probe, so concurrent queries and background merges
+        # sharing one handle no longer serialize on every page miss.
         self._lock = threading.Lock()
 
     # -- lifecycle ---------------------------------------------------------
@@ -92,7 +99,13 @@ class PagedFile:
     def read_page(self, page_id: int) -> bytes:
         """Return the ``page_size`` bytes of page ``page_id``.
 
-        Cache hits are free; misses cost one page read.
+        Cache hits are free; misses cost one page read.  The read is a
+        positional ``os.pread`` on the descriptor — no seek, no shared
+        file position, no lock held across the syscall — so any number
+        of threads read the same handle concurrently (and the syscall
+        releases the GIL).  Two threads missing the same page may both
+        read it (each billed); the lock only serializing them bought
+        nothing but contention.
         """
         self._check_open()
         if not 0 <= page_id < self._num_pages:
@@ -101,15 +114,20 @@ class PagedFile:
             )
         with self._lock:
             cached = self._cache_get(page_id)
-            if cached is not None:
-                return cached
-            self._file.seek(page_id * self.page_size)
-            data = self._file.read(self.page_size)
-            if len(data) != self.page_size:
-                raise StorageError(f"short read of page {page_id} in {self.path}")
-            self.stats.record_read(self.category)
-            self._cache_put(page_id, data)
-            return data
+        if cached is not None:
+            return cached
+        data = os.pread(self._fd, self.page_size, page_id * self.page_size)
+        if len(data) != self.page_size:
+            raise StorageError(f"short read of page {page_id} in {self.path}")
+        self.stats.record_read(self.category)
+        if self._cache_capacity:
+            with self._lock:
+                # A writer (or another reader) may have filled this slot
+                # while our pread ran lock-free; never clobber it — a
+                # concurrent write_page's fill is fresher than our read.
+                if page_id not in self._cache:
+                    self._cache_put(page_id, data)
+        return data
 
     def write_page(self, page_id: int, data: bytes) -> None:
         """Overwrite page ``page_id`` with ``data`` (must fill the page)."""
@@ -123,8 +141,7 @@ class PagedFile:
                 f"page {page_id} out of range [0, {self._num_pages}) in {self.path}"
             )
         with self._lock:
-            self._file.seek(page_id * self.page_size)
-            self._file.write(data)
+            self._write_at(page_id * self.page_size, data)
             self.stats.record_write(self.category)
             self._cache_put(page_id, bytes(data))
 
@@ -139,8 +156,7 @@ class PagedFile:
             data = data + b"\x00" * (self.page_size - len(data))
         with self._lock:
             page_id = self._num_pages
-            self._file.seek(page_id * self.page_size)
-            self._file.write(data)
+            self._write_at(page_id * self.page_size, data)
             self._num_pages += 1
             self.stats.record_write(self.category)
             self._cache_put(page_id, bytes(data))
@@ -165,6 +181,14 @@ class PagedFile:
         self._file.flush()
 
     # -- internals ---------------------------------------------------------
+
+    def _write_at(self, offset: int, data: bytes) -> None:
+        """Positional write of the whole buffer (raw IO may write short)."""
+        view = memoryview(data)
+        while view:
+            written = os.pwrite(self._fd, view, offset)
+            offset += written
+            view = view[written:]
 
     def _check_open(self) -> None:
         if self._closed:

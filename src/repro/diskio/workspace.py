@@ -29,6 +29,9 @@ class Workspace:
         self.stats = stats if stats is not None else IOStats()
         os.makedirs(root, exist_ok=True)
         self._open_files: Dict[str, PagedFile] = {}
+        #: name -> (category, cache_pages) the cached handle was opened
+        #: with, so a later open with different arguments is detected.
+        self._open_specs: Dict[str, tuple] = {}
         self._raw_bytes: Dict[str, int] = {}
         # Background merges open run files while queries run; the handle
         # table must not be mutated mid-iteration.
@@ -43,10 +46,26 @@ class Workspace:
     def open_file(
         self, name: str, category: str = "file", cache_pages: int = 0, create: bool = True
     ) -> PagedFile:
-        """Open (or create) the paged file ``name``; handles are cached."""
+        """Open (or create) the paged file ``name``; handles are cached.
+
+        A cached handle keeps the *first* opener's ``category`` and
+        ``cache_pages``; a later open asking for different values would
+        silently get the first configuration (mis-billed IO stats, a
+        cache the caller did not size), so the mismatch raises instead.
+        """
+        spec = (category, cache_pages)
         with self._files_lock:
             existing = self._open_files.get(name)
             if existing is not None:
+                opened_as = self._open_specs[name]
+                if opened_as != spec:
+                    raise StorageError(
+                        f"file {name!r} is already open with "
+                        f"category={opened_as[0]!r}, cache_pages={opened_as[1]} "
+                        f"(asked for category={category!r}, "
+                        f"cache_pages={cache_pages}); close it first or "
+                        f"match the original arguments"
+                    )
                 return existing
             handle = PagedFile(
                 self.path_of(name),
@@ -57,6 +76,7 @@ class Workspace:
                 create=create,
             )
             self._open_files[name] = handle
+            self._open_specs[name] = spec
             return handle
 
     def exists(self, name: str) -> bool:
@@ -67,6 +87,7 @@ class Workspace:
         """Close (if open) and delete the file ``name``."""
         with self._files_lock:
             handle = self._open_files.pop(name, None)
+            self._open_specs.pop(name, None)
         if handle is not None:
             handle.close()
         path = self.path_of(name)
@@ -78,6 +99,7 @@ class Workspace:
         """Close the open handle for ``name`` without deleting it."""
         with self._files_lock:
             handle = self._open_files.pop(name, None)
+            self._open_specs.pop(name, None)
         if handle is not None:
             handle.close()
 
@@ -143,6 +165,7 @@ class Workspace:
         with self._files_lock:
             handles = list(self._open_files.values())
             self._open_files.clear()
+            self._open_specs.clear()
         for handle in handles:
             handle.close()
 

@@ -193,10 +193,17 @@ class OptimalPiecewiseLinear:
 
         intersection = _intersect(r0, r2, r1, r3)
         if intersection is None:
-            # Parallel diagonals: anchor the central line between the two
-            # first-key corners.
-            i_x = Fraction(r0[0])
-            i_y = Fraction(r0[1] + r1[1], 2)
+            # Parallel diagonals: the feasible slope collapsed to a single
+            # value, and the feasible lines are the band between the two
+            # (possibly coincident) diagonal lines.  Anchor midway between
+            # them evaluated at the first key — the corners may have
+            # migrated to arbitrary x, so averaging their raw y values
+            # (as this fallback once did) mixes heights of different keys
+            # and can emit a line violating the ε bound.
+            i_x = Fraction(self.first_x)
+            y_on_min = r0[1] + (i_x - r0[0]) * slope_min
+            y_on_max = r1[1] + (i_x - r1[0]) * slope_max
+            i_y = (y_on_min + y_on_max) / 2
         else:
             i_x, i_y = intersection
         intercept = i_y - (i_x - self.first_x) * slope

@@ -157,6 +157,24 @@ class MBTree:
         for leaf in self._iter_leaves():
             yield from zip(leaf.keys, leaf.values)
 
+    def iter_from(self, key: int) -> Iterator[Tuple[int, bytes]]:
+        """Yield entries with key >= ``key`` in ascending order.
+
+        Seeks the starting leaf directly (one root-to-leaf descent) and
+        then rides the leaf chain — the cursor primitive of
+        :mod:`repro.core.cursor`.  The tree must not be mutated while
+        the iterator is live.
+        """
+        if self._size == 0:
+            return
+        leaf: Optional[Leaf] = self._find_leaf(key)
+        index = bisect.bisect_left(leaf.keys, key)
+        while leaf is not None:
+            for position in range(index, len(leaf.keys)):
+                yield leaf.keys[position], leaf.values[position]
+            leaf = leaf.next
+            index = 0
+
     def range_items(self, low: int, high: int) -> Iterator[Tuple[int, bytes]]:
         """Yield entries with ``low <= key <= high`` in ascending order."""
         for key, value in self.items():

@@ -175,6 +175,54 @@ class ServerClient:
         result, root = protocol.decode_prov_response(body)
         return result, root
 
+    async def scan(
+        self,
+        addr_low: bytes,
+        addr_high: bytes,
+        *,
+        at_blk: Optional[int] = None,
+        limit: Optional[int] = None,
+        page_size: int = 0,
+    ) -> List[Tuple[bytes, int, bytes]]:
+        """Key-ordered range scan: live ``(addr, blk, value)`` triples in
+        ``[addr_low, addr_high]``, ascending.
+
+        Drives the continuation protocol: each request fetches one
+        result page (``page_size``; 0 lets the server pick) and the next
+        request resumes from the returned continuation key, so one
+        logical scan streams past any single frame.  ``at_blk`` reads
+        the historical state as of that block; ``limit`` caps the total
+        triples returned.
+
+        Multi-page scans are snapshot-consistent: the server pins every
+        page to a committed height and reports it, and continuation
+        pages are re-requested at the *first* page's height — writers
+        committing between pages cannot tear the reassembled result
+        across commit epochs.
+        """
+        results: List[Tuple[bytes, int, bytes]] = []
+        cursor_addr = addr_low
+        pin = at_blk
+        while True:
+            want = page_size
+            if limit is not None:
+                remaining = limit - len(results)
+                if remaining <= 0:
+                    return results
+                want = min(want, remaining) if want else remaining
+            body = await self._conn().request(
+                protocol.encode_scan(cursor_addr, addr_high, pin, want)
+            )
+            rows, continuation, height = protocol.decode_scan_response(body)
+            results.extend(rows)
+            if pin is None:
+                pin = height  # later pages stay in this page's snapshot
+            if limit is not None and len(results) >= limit:
+                return results[:limit]
+            if continuation is None:
+                return results
+            cursor_addr = continuation
+
     async def root(self) -> RootInfo:
         """Committed state root, commit version, and block height."""
         body = await self._conn().request(protocol.encode_simple(Op.ROOT))
@@ -321,6 +369,28 @@ class ReplicatedClient:
         """Provenance from any replica — the proof self-verifies against
         the ``Hstate`` digest it returns, replica or not."""
         return await self._read(lambda client: client.prov(addr, blk_low, blk_high))
+
+    async def scan(
+        self,
+        addr_low: bytes,
+        addr_high: bytes,
+        *,
+        at_blk: Optional[int] = None,
+        limit: Optional[int] = None,
+        page_size: int = 0,
+    ) -> List[Tuple[bytes, int, bytes]]:
+        """Range scan from any replica (primary fallback).
+
+        The whole paged scan runs against one chosen node: pages are
+        snapshot-pinned to the first page's height, and a different
+        replica might not have applied that height yet — it would
+        silently serve an incomplete view of the pinned snapshot.
+        """
+        return await self._read(
+            lambda client: client.scan(
+                addr_low, addr_high, at_blk=at_blk, limit=limit, page_size=page_size
+            )
+        )
 
     # -- write routing --------------------------------------------------------
 

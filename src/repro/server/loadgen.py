@@ -35,10 +35,11 @@ from typing import List, Optional, Tuple
 from repro.common.hashing import hash_bytes
 from repro.server.client import ServerClient
 from repro.server.protocol import NotPrimaryError
-from repro.workloads.ycsb import ZipfGenerator
+from repro.workloads.ycsb import YCSBGenerator, ZipfGenerator
 
-#: One op: ("get", addr, None) or ("put", addr, value).
-ClientOp = Tuple[str, bytes, Optional[bytes]]
+#: One op: ("get", addr, None), ("put", addr, value), or
+#: ("scan", start_addr, max_results).
+ClientOp = Tuple[str, bytes, Optional[object]]
 
 
 @dataclass(frozen=True)
@@ -48,6 +49,8 @@ class LoadgenParams:
     clients: int = 32
     ops_per_client: int = 200
     read_fraction: float = 0.5
+    scan_fraction: float = 0.0
+    scan_length: int = 16
     num_keys: int = 1024
     addr_size: int = 32
     value_size: int = 40
@@ -61,10 +64,28 @@ class LoadgenParams:
             raise ValueError("clients must be >= 1")
         if not 0.0 <= self.read_fraction <= 1.0:
             raise ValueError("read_fraction must be in [0, 1]")
+        if not 0.0 <= self.scan_fraction <= 1.0:
+            raise ValueError("scan_fraction must be in [0, 1]")
+        if self.read_fraction + self.scan_fraction > 1.0:
+            raise ValueError("read_fraction + scan_fraction exceed 1")
+        if self.scan_length < 1:
+            raise ValueError("scan_length must be >= 1")
         if self.mode not in ("closed", "open"):
             raise ValueError("mode must be 'closed' or 'open'")
         if self.mode == "open" and self.rate <= 0:
             raise ValueError("open loop needs a positive rate")
+
+    @classmethod
+    def for_workload(cls, workload: str, **overrides) -> "LoadgenParams":
+        """Params preset for a standard YCSB workload letter.
+
+        ``for_workload("E")`` is the scan-heavy mix (95% range scans,
+        5% writes) of :class:`repro.workloads.YCSBGenerator`.
+        """
+        mix = YCSBGenerator.MIXES[workload.upper()]
+        overrides.setdefault("read_fraction", mix.read_fraction)
+        overrides.setdefault("scan_fraction", mix.scan_fraction)
+        return cls(**overrides)
 
 
 def key_addr(rank: int, addr_size: int) -> bytes:
@@ -91,6 +112,13 @@ def client_ops(params: LoadgenParams, client_id: int) -> List[ClientOp]:
     A client whose partition is empty (more clients than keys) issues
     reads only — any write fallback would give some key two writers and
     make the final state interleaving-dependent.
+
+    Scans (``scan_fraction`` of ops, the YCSB-E shape) start at a
+    zipfian-popular key's address and read up to ``scan_length``
+    key-ordered results from there — with hashed addresses the range is
+    over the *address* space, the standard scan shape for hash-ordered
+    stores.  With ``scan_fraction == 0`` the stream is bit-identical to
+    the pre-scan generator (one RNG draw per op decides the kind).
     """
     import random
 
@@ -102,10 +130,18 @@ def client_ops(params: LoadgenParams, client_id: int) -> List[ClientOp]:
     zipf_writes = ZipfGenerator(
         max(1, len(owned)), theta=params.theta, seed=params.seed + 100_000 + client_id
     )
+    zipf_scans = ZipfGenerator(
+        params.num_keys, theta=params.theta, seed=params.seed + 200_000 + client_id
+    )
     ops: List[ClientOp] = []
     writes = 0
     for _ in range(params.ops_per_client):
-        if rng.random() < params.read_fraction or not owned:
+        roll = rng.random()
+        if roll < params.scan_fraction:
+            rank = zipf_scans.next_rank()
+            length = rng.randint(1, params.scan_length)
+            ops.append(("scan", key_addr(rank, params.addr_size), length))
+        elif roll < params.scan_fraction + params.read_fraction or not owned:
             rank = zipf_reads.next_rank()
             ops.append(("get", key_addr(rank, params.addr_size), None))
         else:
@@ -169,6 +205,9 @@ class LoadReport:
     ops: int = 0
     reads: int = 0
     writes: int = 0
+    scans: int = 0
+    #: key-value triples returned across all scans (scan "depth" served).
+    scanned_entries: int = 0
     errors: int = 0
     #: error count per exception type name — a run that failed must say how.
     errors_by_type: dict = field(default_factory=dict)
@@ -176,7 +215,23 @@ class LoadReport:
     error_samples: List[str] = field(default_factory=list)
     elapsed_s: float = 0.0
     latencies: List[float] = field(default_factory=list)  # per-op seconds
+    scan_latencies: List[float] = field(default_factory=list)  # scans only
     server_stats: dict = field(default_factory=dict)
+
+    def record_ok(self, op: ClientOp, latency: float, result=None) -> None:
+        """Count one completed op with its latency, by kind."""
+        self.latencies.append(latency)
+        self.ops += 1
+        kind = op[0]
+        if kind == "get":
+            self.reads += 1
+        elif kind == "scan":
+            self.scans += 1
+            self.scan_latencies.append(latency)
+            if result is not None:
+                self.scanned_entries += len(result)
+        else:
+            self.writes += 1
 
     def record_error(self, exc: BaseException) -> None:
         """Count one failed op, keeping its kind and a message sample."""
@@ -208,6 +263,8 @@ class LoadReport:
             "ops": self.ops,
             "reads": self.reads,
             "writes": self.writes,
+            "scans": self.scans,
+            "scanned_entries": self.scanned_entries,
             "errors": self.errors,
             "errors_by_type": dict(self.errors_by_type),
             "error_samples": list(self.error_samples),
@@ -215,17 +272,26 @@ class LoadReport:
             "ops_per_s": self.throughput,
             "p50_s": percentile(self.latencies, 0.5) if self.latencies else 0.0,
             "p99_s": percentile(self.latencies, 0.99) if self.latencies else 0.0,
+            "scan_p50_s": (
+                percentile(self.scan_latencies, 0.5) if self.scan_latencies else 0.0
+            ),
+            "scan_p99_s": (
+                percentile(self.scan_latencies, 0.99) if self.scan_latencies else 0.0
+            ),
             "cache_hit_rate": self.cache_hit_rate,
             "server_stats": self.server_stats,
         }
 
 
-async def _issue(client: ServerClient, op: ClientOp) -> None:
-    kind, addr, value = op
+async def _issue(client: ServerClient, op: ClientOp):
+    kind, addr, extra = op
     if kind == "get":
-        await client.get(addr)
-    else:
-        await client.put(addr, value)
+        return await client.get(addr)
+    if kind == "scan":
+        # Open-ended upward from the zipfian start address: with hashed
+        # addresses any contiguous address window is an unbiased sample.
+        return await client.scan(addr, b"\xff" * len(addr), limit=extra)
+    return await client.put(addr, extra)
 
 
 async def _closed_worker(
@@ -235,16 +301,11 @@ async def _closed_worker(
         for op in ops:
             started = time.perf_counter()
             try:
-                await _issue(client, op)
+                result = await _issue(client, op)
             except Exception as exc:  # count it, keep the evidence
                 report.record_error(exc)
                 continue
-            report.latencies.append(time.perf_counter() - started)
-            report.ops += 1
-            if op[0] == "get":
-                report.reads += 1
-            else:
-                report.writes += 1
+            report.record_ok(op, time.perf_counter() - started, result)
 
 
 async def _open_worker(
@@ -261,17 +322,12 @@ async def _open_worker(
 
         async def timed(op: ClientOp, scheduled: float) -> None:
             try:
-                await _issue(client, op)
+                result = await _issue(client, op)
             except Exception as exc:  # count it, keep the evidence
                 report.record_error(exc)
                 return
             # Latency from the scheduled arrival: queueing counts.
-            report.latencies.append(loop.time() - scheduled)
-            report.ops += 1
-            if op[0] == "get":
-                report.reads += 1
-            else:
-                report.writes += 1
+            report.record_ok(op, loop.time() - scheduled, result)
 
         for index, op in enumerate(ops):
             scheduled = started + index * interval
@@ -319,12 +375,20 @@ def run_loadgen_sync(host: str, port: int, params: LoadgenParams) -> LoadReport:
 
 def format_report(report: LoadReport) -> str:
     """Multi-line human-readable summary of one run."""
-    from repro.bench.report import format_rate, format_seconds, percentile
+    from repro.bench.report import (
+        format_rate,
+        format_seconds,
+        latency_columns,
+        percentile,
+    )
 
+    ops_line = f"ops:             {report.ops} ({report.reads} reads, "
+    if report.scans:
+        ops_line += f"{report.scans} scans, "
+    ops_line += f"{report.writes} writes, {report.errors} errors)"
     lines = [
         f"mode:            {report.mode} ({report.clients} clients)",
-        f"ops:             {report.ops} ({report.reads} reads, "
-        f"{report.writes} writes, {report.errors} errors)",
+        ops_line,
         f"elapsed:         {format_seconds(report.elapsed_s)}",
         f"throughput:      {format_rate(report.ops, report.elapsed_s)}",
     ]
@@ -336,12 +400,27 @@ def format_report(report: LoadReport) -> str:
         lines.append(f"errors:          {report.errors} ({kinds})")
         for sample in report.error_samples:
             lines.append(f"  e.g. {sample}")
+
+    def latency_line(label: str, samples: List[float]) -> str:
+        # The shared percentile-column path of the figure benchmarks.
+        p50, p99 = latency_columns(
+            {
+                "p50": percentile(samples, 0.5),
+                "p99": percentile(samples, 0.99),
+            },
+            ["p50", "p99"],
+        )
+        return (
+            f"{label}p50 {p50}  p99 {p99}  max {format_seconds(max(samples))}"
+        )
+
     if report.latencies:
+        lines.append(latency_line("latency:         ", report.latencies))
+    if report.scan_latencies:
+        lines.append(latency_line("scan latency:    ", report.scan_latencies))
         lines.append(
-            "latency:         "
-            f"p50 {format_seconds(percentile(report.latencies, 0.5))}  "
-            f"p99 {format_seconds(percentile(report.latencies, 0.99))}  "
-            f"max {format_seconds(max(report.latencies))}"
+            f"scanned entries: {report.scanned_entries} "
+            f"({report.scanned_entries / report.scans:.1f} per scan)"
         )
     cache = report.server_stats.get("cache")
     if cache:

@@ -19,12 +19,31 @@ PUT             addr16, value32                      u64 block height assigned
 GET             addr16                               value32 (or NOT_FOUND)
 GET_AT          addr16, u64 blk                      value32 (or NOT_FOUND)
 PROV            addr16, u64 blk_low, u64 blk_high    blob32 (pickled result)
+SCAN            lo16, hi16, u64 at_blk, u32 limit    one result page: u8 more,
+                                                     [cont16,] u64 snapshot
+                                                     height, u32 count, then
+                                                     count x (addr16, u64 blk,
+                                                     value32)
 ROOT            —                                    digest16, u64 ver, u64 blk
 STATS           —                                    blob32 (JSON, utf-8)
 FLUSH           —                                    digest16, u64 ver, u64 blk
 REPL_SUBSCRIBE  u64 start_height                     u64 primary height, then
                                                      a stream of record frames
 ==============  ===================================  =========================
+
+``SCAN`` is the key-ordered range read: the live version of every
+address in ``[lo, hi]`` as of block ``at_blk`` (``LATEST_BLK`` = the
+newest committed state), ascending.  One request returns one
+length-prefixed **result page** of at most ``limit`` triples; when the
+``more`` flag is set the page ends with a *continuation key* — the next
+unreturned address — and the client issues the next request from it, so
+a single logical scan streams past any one frame's size cap without the
+server holding per-connection scan state.  Every page also carries the
+**snapshot height** it was served at: a latest scan is pinned to the
+committed height at serve time, and the client re-pins continuation
+pages to the first page's height (``at_blk``), so a multi-page scan
+describes one consistent committed state even while writers commit
+between pages.
 
 ``REPL_SUBSCRIBE`` turns its connection into a one-way replication
 stream: after the handshake response the server sends an unbounded
@@ -55,11 +74,16 @@ from __future__ import annotations
 import pickle
 import struct
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.common.errors import StorageError
 
 MAX_FRAME = 64 * 1024 * 1024  # hard cap against corrupt / hostile lengths
+
+#: ``at_blk`` sentinel meaning "the latest committed state" (u64 max —
+#: the same value :data:`repro.core.compound.MAX_BLK` gives the floor
+#: search, so encoding latest scans needs no special casing anywhere).
+LATEST_BLK = 2**64 - 1
 
 _U16 = struct.Struct(">H")
 _U32 = struct.Struct(">I")
@@ -77,6 +101,7 @@ class Op:
     STATS = 6
     FLUSH = 7
     REPL_SUBSCRIBE = 8
+    SCAN = 9
 
 
 class Status:
@@ -188,6 +213,19 @@ def encode_prov(addr: bytes, blk_low: int, blk_high: int) -> bytes:
     )
 
 
+def encode_scan(
+    addr_low: bytes, addr_high: bytes, at_blk: Optional[int], limit: int
+) -> bytes:
+    """One scan page request; ``at_blk=None`` scans the latest state."""
+    return encode_frame(
+        bytes([Op.SCAN])
+        + pack_bytes16(addr_low)
+        + pack_bytes16(addr_high)
+        + _U64.pack(LATEST_BLK if at_blk is None else at_blk)
+        + _U32.pack(limit)
+    )
+
+
 def encode_simple(op: int) -> bytes:
     """ROOT / STATS / FLUSH — opcode-only requests."""
     return encode_frame(bytes([op]))
@@ -210,6 +248,8 @@ def decode_request(body: bytes) -> Tuple[int, tuple]:
         return op, (cursor.bytes16(), cursor.u64())
     if op == Op.PROV:
         return op, (cursor.bytes16(), cursor.u64(), cursor.u64())
+    if op == Op.SCAN:
+        return op, (cursor.bytes16(), cursor.bytes16(), cursor.u64(), cursor.u32())
     if op == Op.REPL_SUBSCRIBE:
         return op, (cursor.u64(),)
     if op in (Op.ROOT, Op.STATS, Op.FLUSH):
@@ -301,6 +341,41 @@ def decode_blob_response(body: bytes) -> bytes:
 
 def decode_prov_response(body: bytes) -> object:
     return pickle.loads(decode_blob_response(body))
+
+
+#: One scan result triple: (address, written-at height, value).
+ScanRow = Tuple[bytes, int, bytes]
+
+
+def encode_scan_response(
+    rows: List[ScanRow], continuation: Optional[bytes], height: int
+) -> bytes:
+    """One scan result page; ``continuation`` is the next unreturned
+    address when the scan has more (``None`` on the final page), and
+    ``height`` is the snapshot height the page was served at."""
+    if continuation is not None:
+        parts = [bytes([1]), pack_bytes16(continuation)]
+    else:
+        parts = [bytes([0])]
+    parts.append(_U64.pack(height))
+    parts.append(_U32.pack(len(rows)))
+    for addr, blk, value in rows:
+        parts.append(pack_bytes16(addr) + _U64.pack(blk) + pack_bytes32(value))
+    return encode_ok(b"".join(parts))
+
+
+def decode_scan_response(
+    body: bytes,
+) -> Tuple[List[ScanRow], Optional[bytes], int]:
+    cursor = Cursor(body)
+    check_status(cursor)
+    continuation = cursor.bytes16() if cursor.u8() else None
+    height = cursor.u64()
+    count = cursor.u32()
+    rows = [
+        (cursor.bytes16(), cursor.u64(), cursor.bytes32()) for _ in range(count)
+    ]
+    return rows, continuation, height
 
 
 def encode_repl_handshake(height: int) -> bytes:

@@ -18,6 +18,18 @@ Request flow:
   commit), and finally the engine itself on the thread pool.
 * **PROV** first forces a group commit so the proof anchors to a
   committed ``Hstate``, then runs the engine's anchored provenance query.
+* **SCAN** snapshots at a committed height: an un-pinned (latest)
+  request first forces a group commit so acked-but-buffered writes are
+  in the engine (merging the overlay into an ordered stream would
+  re-create the ad-hoc read paths the cursor layer replaced), is pinned
+  to the resulting committed height, and answers one result page from
+  the engine's cursor-based ``scan`` with a continuation key when the
+  range has more; pinned requests (explicit ``at_blk``, continuation
+  pages) skip the flush — the open batch cannot commit at a height they
+  can see.  Scans bypass the
+  :class:`~repro.server.cache.VersionedReadCache` entirely: the cache is
+  exact-key, and a range result is invalidated by *any* write in the
+  range, which the version stamp cannot express per-entry.
 * **ROOT / STATS / FLUSH** are control-plane ops.
 * **REPL_SUBSCRIBE** (WAL-enabled primaries only) turns the connection
   into a replication stream: catch-up from the on-disk WAL, then live
@@ -70,6 +82,11 @@ class ServerConfig:
     batch_max_delay: float = 0.01
     cache_capacity: int = 8192
     executor_workers: int = 8
+    #: Hard cap on triples per SCAN result page (bounds frame sizes and
+    #: per-request engine work; longer scans ride the continuation key).
+    scan_page_max: int = 1024
+    #: Page size used when a SCAN request asks for 0 (no explicit limit).
+    scan_page_default: int = 256
 
     def __post_init__(self) -> None:
         if self.batch_max_puts < 1:
@@ -78,6 +95,8 @@ class ServerConfig:
             raise ValueError("batch_max_delay must be positive")
         if self.executor_workers < 1:
             raise ValueError("executor_workers must be >= 1")
+        if self.scan_page_max < 1 or self.scan_page_default < 1:
+            raise ValueError("scan page sizes must be >= 1")
 
 
 class _WalSyncer:
@@ -187,7 +206,8 @@ class ColeServer:
         self._conn_writers: Set[asyncio.StreamWriter] = set()
         # Op counters (STATS).
         self.op_counts = {"put": 0, "get": 0, "get_at": 0, "prov": 0,
-                          "root": 0, "stats": 0, "flush": 0, "repl": 0}
+                          "scan": 0, "root": 0, "stats": 0, "flush": 0,
+                          "repl": 0}
         self.overlay_hits = 0
         self.connections_total = 0
 
@@ -372,6 +392,9 @@ class ColeServer:
         if op == Op.PROV:
             self.op_counts["prov"] += 1
             return await self._prov(*args)
+        if op == Op.SCAN:
+            self.op_counts["scan"] += 1
+            return await self._scan(*args)
         if op == Op.ROOT:
             self.op_counts["root"] += 1
             return protocol.encode_root_response(await self._root_info())
@@ -505,6 +528,51 @@ class ColeServer:
         )
         blob = pickle.dumps((result, root), protocol=pickle.HIGHEST_PROTOCOL)
         return protocol.encode_blob_response(blob)
+
+    async def _scan(
+        self, addr_low: bytes, addr_high: bytes, at_blk: int, limit: int
+    ) -> bytes:
+        # Snapshot at the current commit version: buffered writes commit
+        # first (cheap no-op when the batch is empty), so the scan sees
+        # every acked write without merging the overlay into the ordered
+        # stream.  A replica buffers nothing — its engine state *is* its
+        # committed state.
+        # Only an un-pinned (latest) request forces the group commit —
+        # that is what makes acked-but-buffered writes visible to the
+        # scan (read-your-writes at scan initiation).  Pinned requests
+        # (explicit at_blk, every continuation page) read a height the
+        # open batch cannot commit at, so flushing would buy nothing:
+        # a paged scan pays the batching tax once, not per page.  Under
+        # a scan-heavy write mix (YCSB-E) first pages still shrink
+        # group-commit batches; that is the accepted trade for exact
+        # scans — see DESIGN.md "Cursors & Scans".
+        if self.batcher is not None and at_blk == protocol.LATEST_BLK:
+            await self.batcher.flush()
+        page = limit if limit else self.config.scan_page_default
+        page = min(page, self.config.scan_page_max)
+        # Pin the page to the committed height at serve time: a commit
+        # landing while the engine scan runs must not leak into it, and
+        # the client re-pins continuation pages to the first page's
+        # height so a multi-page scan describes one committed state.
+        snapshot = (
+            self.replica.applied_height
+            if self.replica is not None
+            else self.batcher.last_height
+        )
+        resolved_at = snapshot if at_blk == protocol.LATEST_BLK else at_blk
+        # Ask for one extra triple: its presence proves the range has
+        # more, and its address *is* the continuation key — no address
+        # arithmetic, no false has_more on an exactly-full final page.
+        rows = await self._run(
+            lambda: self.engine.scan(
+                addr_low, addr_high, at_blk=resolved_at, limit=page + 1
+            )
+        )
+        continuation = None
+        if len(rows) > page:
+            continuation = rows[page][0]
+            rows = rows[:page]
+        return protocol.encode_scan_response(rows, continuation, resolved_at)
 
     # =========================================================================
     # control plane

@@ -8,7 +8,14 @@
 """
 
 from repro.workloads.smallbank import SmallBankWorkload
-from repro.workloads.ycsb import YCSBWorkload, Mix
+from repro.workloads.ycsb import Mix, WorkloadMix, YCSBGenerator, YCSBWorkload
 from repro.workloads.provenance import ProvenanceWorkload
 
-__all__ = ["SmallBankWorkload", "YCSBWorkload", "Mix", "ProvenanceWorkload"]
+__all__ = [
+    "SmallBankWorkload",
+    "YCSBWorkload",
+    "YCSBGenerator",
+    "WorkloadMix",
+    "Mix",
+    "ProvenanceWorkload",
+]

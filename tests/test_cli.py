@@ -47,6 +47,37 @@ def test_experiment_command_tiny(tmp_path, capsys):
     assert "tps" in out
 
 
+def test_loadgen_parser_scan_flags():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        ["loadgen", "--scan-frac", "0.4", "--scan-len", "9", "--json"]
+    )
+    assert args.scan_frac == 0.4
+    assert args.scan_len == 9
+    args = build_parser().parse_args(["loadgen", "--workload", "E"])
+    assert args.workload == "E"
+
+
+def test_fig20_experiment_registered_and_runs_tiny():
+    from repro.bench.experiments import run_scan_throughput
+    from repro.cli import _EXPERIMENTS
+
+    assert _EXPERIMENTS["fig20"][0] == "run_scan_throughput"
+    rows = run_scan_throughput(
+        shard_counts=(1, 2),
+        scan_lengths=(4,),
+        num_addresses=64,
+        blocks=6,
+        puts_per_block=32,
+        scans_per_point=10,
+    )
+    assert {row["shards"] for row in rows} == {1, 2}
+    assert all(row["scans_per_s"] > 0 for row in rows)
+    # Both shard counts scanned the identical (verified) data set.
+    assert len({row["entries"] for row in rows}) == 1
+
+
 def test_unknown_experiment(capsys):
     assert main(["experiment", "nope"]) == 2
     assert "unknown experiment" in capsys.readouterr().out

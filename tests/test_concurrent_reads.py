@@ -72,8 +72,35 @@ def _decode_blk(value: bytes) -> int:
     return int.from_bytes(value[4:8], "big")
 
 
+def _expected_scan(a: int, b: int, blk: int):
+    """The byte-exact scan result for ``[addr_of(a), addr_of(b)]`` at
+    height ``blk`` (every address is written in every block)."""
+    return [(addr_of(n), blk, value_at(n, blk)) for n in range(a, b + 1)]
+
+
+def _check_scans(engine, snapshot, rng):
+    """One historical and one latest scan, byte-exact against the model."""
+    a = rng.randrange(NUM_ADDRS)
+    b = rng.randrange(a, NUM_ADDRS)
+    if snapshot >= 1:
+        # Historical scan at a committed height: exactly one correct
+        # answer, forever, even while cascades rewrite the runs.
+        blk = rng.randint(1, snapshot)
+        rows = engine.scan(addr_of(a), addr_of(b), at_blk=blk)
+        assert rows == _expected_scan(a, b, blk), (a, b, blk)
+        # Latest scan: commits are atomic across the whole engine (and
+        # across shards, under the top-level gate), so every returned
+        # address must carry the same height h >= snapshot.
+        rows = engine.scan(addr_of(a), addr_of(b))
+        heights = {blk for _addr, blk, _value in rows}
+        assert len(heights) == 1, heights
+        h = heights.pop()
+        assert snapshot <= h <= BLOCKS, (snapshot, h)
+        assert rows == _expected_scan(a, b, h), (a, b, h)
+
+
 def _reader(engine, writer, reader_id, errors, sharded):
-    """Hammers get / get_at / prov until the writer finishes."""
+    """Hammers get / get_at / prov / scan until the writer finishes."""
     import random
 
     rng = random.Random(reader_id)
@@ -81,8 +108,10 @@ def _reader(engine, writer, reader_id, errors, sharded):
         while writer.is_alive():
             n = rng.randrange(NUM_ADDRS)
             snapshot = writer.published
-            mode = rng.randrange(3)
-            if mode == 0 and snapshot >= 1:
+            mode = rng.randrange(4)
+            if mode == 3:
+                _check_scans(engine, snapshot, rng)
+            elif mode == 0 and snapshot >= 1:
                 # Historical read at a committed height: exactly one
                 # correct answer, forever.
                 blk = rng.randint(1, snapshot)
@@ -169,14 +198,21 @@ def test_concurrent_reads_during_synchronous_cascades(tmp_path):
     engine = Cole(str(tmp_path / "ws"), PARAMS.with_async(False))
     stop = threading.Event()
     errors = []
+    committed = [0]  # highest committed height (torn-free list store)
+
+    import random
 
     def read_loop():
+        rng = random.Random(99)
         try:
             while not stop.is_set():
                 value = engine.get(addr_of(1))
                 if value is not None:
                     blk = _decode_blk(value)
                     assert value == value_at(1, blk)
+                    # Scans stay exact under Algorithm 1's inline
+                    # recursive merges too.
+                    _check_scans(engine, min(blk, committed[0]), rng)
         except BaseException as exc:  # noqa: BLE001
             errors.append(exc)
 
@@ -190,6 +226,7 @@ def test_concurrent_reads_during_synchronous_cascades(tmp_path):
                 [(addr_of(n), value_at(n, blk)) for n in range(NUM_ADDRS)]
             )
             engine.commit_block()
+            committed[0] = blk
     finally:
         stop.set()
         for reader in readers:

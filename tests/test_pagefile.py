@@ -112,6 +112,48 @@ def test_closed_file_rejects_io(pagefile):
         pagefile.append_page(b"x")
 
 
+def test_read_sees_append_without_explicit_flush(pagefile):
+    """Writes are unbuffered (positional IO): a pread-based read must
+    observe an append immediately, with no user-space buffer between."""
+    pagefile.append_page(b"q" * 256)
+    assert pagefile.read_page(0) == b"q" * 256
+    # And through a second, independent handle on the same path.
+    other = PagedFile(pagefile.path, page_size=256, create=False)
+    assert other.read_page(0) == b"q" * 256
+    other.close()
+
+
+def test_concurrent_reads_are_exact_without_serializing(tmp_path):
+    """Many threads hammering read_page on one shared handle: every
+    read byte-exact (positional reads share no file offset)."""
+    import threading
+
+    file = PagedFile(str(tmp_path / "c.pg"), page_size=256, cache_pages=4)
+    pages = [bytes([n]) * 256 for n in range(64)]
+    for page in pages:
+        file.append_page(page)
+    errors = []
+
+    def reader(seed):
+        import random
+
+        rng = random.Random(seed)
+        try:
+            for _ in range(2000):
+                page_id = rng.randrange(len(pages))
+                assert file.read_page(page_id) == pages[page_id]
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=reader, args=(n,)) for n in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not errors, errors[:3]
+    file.close()
+
+
 def test_size_bytes(pagefile):
     pagefile.append_page(b"x")
     assert pagefile.size_bytes() == 256

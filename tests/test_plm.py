@@ -9,7 +9,7 @@ import bisect
 import random
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import example, given, settings, strategies as st
 
 from repro.learned import OptimalPiecewiseLinear, build_models
 from repro.learned.model import Model
@@ -130,6 +130,11 @@ def test_error_bound_property(keys, epsilon):
 
 @settings(max_examples=30, deadline=None)
 @given(st.lists(st.integers(min_value=1, max_value=50), min_size=2, max_size=60))
+# Regression: this stream collapses the feasible slope range to a single
+# value, so the segment's diagonals are parallel and its corners have
+# migrated off the first key; the emission fallback used to average
+# corner heights taken at *different* keys and broke the ε bound.
+@example(gaps=[1, 27, 48, 1, 3, 41, 50, 50, 50, 50, 1, 1, 1, 3, 22, 35, 17])
 def test_positions_with_gaps_property(gaps):
     # Positions that advance by variable strides (like multi-versioned data).
     key = 0

@@ -105,6 +105,17 @@ def test_replica_matches_primary_root_at_every_commit_height(tmp_path):
                         assert await rc.get_at(
                             addr_of(probe), info.height
                         ) == value_of(probe)
+                        # Range scans serve from the replica too (no
+                        # batcher there: its state is all committed).
+                        rows = await rc.scan(
+                            addr_of(probe), addr_of(probe + 2), page_size=2
+                        )
+                        assert [r[0] for r in rows] == [
+                            addr_of(probe + i) for i in range(3)
+                        ]
+                        assert [r[2] for r in rows] == [
+                            value_of(probe + i) for i in range(3)
+                        ]
                     stats = await rc.stats()
                     repl = stats["replication"]
                     assert repl["role"] == "replica"

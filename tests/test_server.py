@@ -56,6 +56,10 @@ def test_protocol_request_round_trips():
         (protocol.encode_get(b"a" * ADDR), Op.GET, (b"a" * ADDR,)),
         (protocol.encode_get_at(b"a" * ADDR, 7), Op.GET_AT, (b"a" * ADDR, 7)),
         (protocol.encode_prov(b"a" * ADDR, 2, 9), Op.PROV, (b"a" * ADDR, 2, 9)),
+        (protocol.encode_scan(b"a" * ADDR, b"z" * ADDR, 12, 64), Op.SCAN,
+         (b"a" * ADDR, b"z" * ADDR, 12, 64)),
+        (protocol.encode_scan(b"a" * ADDR, b"z" * ADDR, None, 0), Op.SCAN,
+         (b"a" * ADDR, b"z" * ADDR, protocol.LATEST_BLK, 0)),
         (protocol.encode_simple(Op.ROOT), Op.ROOT, ()),
         (protocol.encode_simple(Op.STATS), Op.STATS, ()),
         (protocol.encode_simple(Op.FLUSH), Op.FLUSH, ()),
@@ -81,6 +85,16 @@ def test_protocol_response_round_trips():
     ) == info
     with pytest.raises(StorageError, match="boom"):
         protocol.decode_value_response(protocol.encode_error("boom")[4:])
+
+
+def test_protocol_scan_response_round_trips():
+    rows = [(addr_of(n), n + 1, value_of(n)) for n in range(5)]
+    for continuation in (None, addr_of(9)):
+        body = protocol.encode_scan_response(rows, continuation, 42)[4:]
+        assert protocol.decode_scan_response(body) == (rows, continuation, 42)
+    assert protocol.decode_scan_response(
+        protocol.encode_scan_response([], None, 0)[4:]
+    ) == ([], None, 0)
 
 
 def test_protocol_rejects_garbage():
@@ -364,6 +378,123 @@ def test_sharded_prov_over_the_wire_verifies(tmp_path):
     engine.close()
 
 
+def test_scan_over_the_wire_pages_and_sees_buffered_writes(tmp_path):
+    engine = Cole(str(tmp_path / "ws"), PARAMS)
+
+    async def scenario(host, port):
+        async with ServerClient(host, port) as client:
+            for n in range(30):
+                await client.put(addr_of(n), value_of(n))
+            # No explicit flush: SCAN snapshots at the current commit
+            # version, forcing the buffered batch in first.
+            low, high = addr_of(0), addr_of(29)
+            rows = await client.scan(low, high, page_size=7)
+            assert rows == [(addr_of(n), 1, value_of(n)) for n in range(30)]
+            stats = await client.stats()
+            assert stats["ops"]["scan"] >= 5  # continuation paging happened
+            assert stats["buffered_puts"] == 0
+            # Bounded range + limit.
+            rows = await client.scan(addr_of(5), addr_of(20), limit=4)
+            assert rows == [(addr_of(n), 1, value_of(n)) for n in range(5, 9)]
+            # Historical scan: before any commit nothing existed.
+            assert await client.scan(low, high, at_blk=0) == []
+            # Overwrites surface the newest version at its new height.
+            await client.put(addr_of(3), value_of(99))
+            rows = await client.scan(addr_of(3), addr_of(3))
+            assert rows[0][2] == value_of(99) and rows[0][1] == 2
+
+    with serve(engine, batch_max_puts=1000, batch_max_delay=60.0) as thread:
+        asyncio.run(scenario(*thread.start()))
+    engine.close()
+
+
+def test_sharded_scan_over_the_wire_globally_sorted(tmp_path):
+    engine = ShardedCole(
+        str(tmp_path / "ws"), ShardParams(cole=PARAMS, num_shards=3)
+    )
+
+    async def scenario(host, port):
+        async with ServerClient(host, port) as client:
+            for n in range(40):
+                await client.put(addr_of(n), value_of(n))
+            rows = await client.scan(addr_of(0), addr_of(39), page_size=9)
+            # Hash-partitioned shards, globally re-sorted by address.
+            assert rows == [(addr_of(n), 1, value_of(n)) for n in range(40)]
+
+    with serve(engine, batch_max_puts=1000, batch_max_delay=60.0) as thread:
+        asyncio.run(scenario(*thread.start()))
+    engine.close()
+
+
+def test_paged_scan_is_snapshot_consistent_across_interleaved_commits(tmp_path):
+    """Writers committing between a scan's pages must not tear the
+    reassembled result: continuation pages are pinned to the first
+    page's snapshot height."""
+    engine = Cole(str(tmp_path / "ws"), PARAMS)
+
+    async def scenario(host, port):
+        async with ServerClient(host, port) as client:
+            for n in range(30):
+                await client.put(addr_of(n), value_of(n))
+            await client.flush()
+
+            # Issue the scan page by page by hand, committing an
+            # overwrite of an early address between pages.
+            conn = client._conn()
+            body = await conn.request(
+                protocol.encode_scan(addr_of(0), addr_of(29), None, 10)
+            )
+            page1, cont, height = protocol.decode_scan_response(body)
+            assert cont == addr_of(10)
+            await client.put(addr_of(25), value_of(999))
+            await client.flush()  # a new epoch lands mid-scan
+            collected = list(page1)
+            while cont is not None:
+                body = await conn.request(
+                    protocol.encode_scan(cont, addr_of(29), height, 10)
+                )
+                rows, cont, _height = protocol.decode_scan_response(body)
+                collected.extend(rows)
+            # The reassembled scan is exactly the pre-write snapshot.
+            assert collected == [
+                (addr_of(n), 1, value_of(n)) for n in range(30)
+            ]
+            # ... and the typed client does the pinning automatically.
+            fresh = await client.scan(addr_of(0), addr_of(29), page_size=10)
+            assert fresh[25] == (addr_of(25), 2, value_of(999))
+
+    with serve(engine, batch_max_puts=1000, batch_max_delay=60.0) as thread:
+        asyncio.run(scenario(*thread.start()))
+    engine.close()
+
+
+def test_scan_page_cap_bounds_single_response(tmp_path):
+    engine = Cole(str(tmp_path / "ws"), PARAMS)
+
+    async def scenario(host, port):
+        async with ServerClient(host, port) as client:
+            for n in range(20):
+                await client.put(addr_of(n), value_of(n))
+            # One raw request above the server's page cap: the response
+            # carries at most scan_page_max rows plus a continuation.
+            body = await client._conn().request(
+                protocol.encode_scan(addr_of(0), addr_of(19), None, 1000)
+            )
+            rows, continuation, height = protocol.decode_scan_response(body)
+            assert len(rows) == 6
+            assert continuation == addr_of(6)
+            assert height >= 1  # pinned at the committed height
+            # The typed client reassembles the full range regardless.
+            rows = await client.scan(addr_of(0), addr_of(19))
+            assert len(rows) == 20
+
+    with serve(
+        engine, batch_max_puts=1000, batch_max_delay=60.0, scan_page_max=6
+    ) as thread:
+        asyncio.run(scenario(*thread.start()))
+    engine.close()
+
+
 def test_malformed_write_reports_error_and_serving_continues(tmp_path):
     engine = Cole(str(tmp_path / "ws"), PARAMS)
 
@@ -481,6 +612,72 @@ def test_loadgen_streams_are_deterministic_and_partitioned():
             if kind == "put":
                 assert writers.setdefault(addr, cid) == cid
     assert writers  # the mix produced writes at all
+
+
+def test_loadgen_scan_mix_and_workload_e_preset():
+    # With scans disabled the stream is unchanged by the scan support
+    # (one RNG draw per op decides the kind, exactly as before).
+    base = LoadgenParams(clients=2, ops_per_client=80, num_keys=64, seed=5)
+    with_flag = LoadgenParams(
+        clients=2, ops_per_client=80, num_keys=64, seed=5, scan_fraction=0.0
+    )
+    assert [client_ops(base, c) for c in range(2)] == [
+        client_ops(with_flag, c) for c in range(2)
+    ]
+    # Workload E: scan-heavy mix, deterministic, bounded scan lengths.
+    params = LoadgenParams.for_workload(
+        "E", clients=2, ops_per_client=200, num_keys=64, scan_length=9, seed=5
+    )
+    assert params.scan_fraction == 0.95 and params.read_fraction == 0.0
+    stream = client_ops(params, 0)
+    assert stream == client_ops(params, 0)
+    kinds = [op[0] for op in stream]
+    assert kinds.count("scan") > 150
+    assert "get" not in kinds
+    assert all(1 <= op[2] <= 9 for op in stream if op[0] == "scan")
+
+
+def test_loadgen_scan_params_validate():
+    with pytest.raises(ValueError):
+        LoadgenParams(scan_fraction=1.5)
+    with pytest.raises(ValueError):
+        LoadgenParams(read_fraction=0.6, scan_fraction=0.6)
+    with pytest.raises(ValueError):
+        LoadgenParams(scan_length=0)
+
+
+def test_loadgen_run_with_scans_reports_scan_latencies(tmp_path):
+    engine = Cole(str(tmp_path / "ws"), PARAMS)
+    params = LoadgenParams(
+        clients=4,
+        ops_per_client=40,
+        num_keys=64,
+        addr_size=ADDR,
+        value_size=VALUE,
+        read_fraction=0.3,
+        scan_fraction=0.4,
+        scan_length=8,
+        seed=3,
+    )
+
+    async def scenario(host, port):
+        report = await run_loadgen(host, port, params)
+        assert report.errors == 0, report.error_samples
+        assert report.ops == 160
+        assert report.scans > 0
+        assert len(report.scan_latencies) == report.scans
+        assert report.reads + report.writes + report.scans == report.ops
+        summary = report.to_dict()
+        assert summary["scans"] == report.scans
+        assert summary["scan_p99_s"] >= summary["scan_p50_s"] >= 0.0
+        from repro.server import format_report
+
+        text = format_report(report)
+        assert "scan latency:" in text and "scanned entries:" in text
+
+    with serve(engine, batch_max_puts=64, batch_max_delay=0.005) as thread:
+        asyncio.run(scenario(*thread.start()))
+    engine.close()
 
 
 def test_more_clients_than_keys_keeps_single_writer():

@@ -12,6 +12,33 @@ def test_open_file_is_cached(tmp_path):
     assert a is b
 
 
+def test_open_file_rejects_mismatched_reopen(tmp_path):
+    """A cached handle keeps the first opener's category/cache_pages; a
+    later open with different arguments must fail loudly instead of
+    silently handing back the first configuration."""
+    import pytest
+
+    from repro.common.errors import StorageError
+
+    ws = Workspace(str(tmp_path / "ws"), page_size=128)
+    ws.open_file("f1", category="value", cache_pages=4)
+    # Matching arguments still share the handle.
+    assert ws.open_file("f1", category="value", cache_pages=4) is not None
+    with pytest.raises(StorageError, match="already open"):
+        ws.open_file("f1", category="index", cache_pages=4)
+    with pytest.raises(StorageError, match="already open"):
+        ws.open_file("f1", category="value", cache_pages=8)
+    # Closing the handle clears the recorded spec: a fresh open may
+    # choose new arguments.
+    ws.close_file("f1")
+    handle = ws.open_file("f1", category="index", cache_pages=8)
+    assert handle.category == "index"
+    # remove_file clears it too.
+    ws.remove_file("f1")
+    assert ws.open_file("f1", category="other").category == "other"
+    ws.close()
+
+
 def test_storage_bytes_counts_files_and_raw(tmp_path):
     ws = Workspace(str(tmp_path / "ws"), page_size=128)
     file = ws.open_file("f1")
