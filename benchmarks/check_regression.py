@@ -27,12 +27,27 @@ import argparse
 import json
 import sys
 
-#: section -> (row key column, throughput metric column)
+#: section -> how to gate it.  ``key``/``metric`` name the row key and
+#: tracked column.  Throughput sections (no ``floor``) gate against
+#: ``baseline * (1 - tolerance)`` and ``--update`` rewrites them as
+#: ``current * headroom``.  Ratio sections carry a *fixed* ``floor``
+#: (a design invariant, not a hardware number): the tolerance does not
+#: soften it and ``--update`` rewrites the prescribed floor verbatim.
+#: ``rows`` restricts gating to the named row keys (e.g. only the
+#: batch-16 speedup point — batch 1 is the 1.0x denominator).
 TRACKED = {
-    "sharding": ("shards", "puts_per_s"),
-    "service": ("clients", "ops_per_s"),
-    "durability": ("policy", "ops_per_s"),
-    "scan": ("scan_len", "scans_per_s"),
+    "sharding": {"key": "shards", "metric": "puts_per_s"},
+    "service": {"key": "clients", "metric": "ops_per_s"},
+    "durability": {"key": "policy", "metric": "ops_per_s"},
+    "scan": {"key": "scan_len", "metric": "scans_per_s"},
+    "multi_get": {"key": "batch", "metric": "speedup", "floor": 2.0, "rows": ["16"]},
+    "negative_lookup": {
+        "key": "config",
+        "metric": "speedup",
+        "floor": 1.0,
+        "rows": ["negative-cache"],
+    },
+    "scan_vs_hotset": {"key": "cache_pages", "metric": "hit_ratio", "floor": 0.9},
 }
 
 
@@ -47,14 +62,19 @@ def index_rows(rows, key_column):
 
 def compare(current, baseline, tolerance):
     """Yield (label, current, floor, ok) for every tracked metric."""
-    for section, (key_column, metric) in TRACKED.items():
+    for section, spec in TRACKED.items():
         if section not in baseline:
             continue
+        key_column, metric = spec["key"], spec["metric"]
+        fixed = "floor" in spec
         base_rows = index_rows(baseline[section], key_column)
         cur_rows = index_rows(current.get(section, []), key_column)
         for key, base_row in base_rows.items():
+            if "rows" in spec and key not in spec["rows"]:
+                continue
             label = f"{section}[{key_column}={key}].{metric}"
-            floor = base_row[metric] * (1.0 - tolerance)
+            # Fixed ratio floors are design invariants: no tolerance.
+            floor = base_row[metric] * (1.0 if fixed else 1.0 - tolerance)
             cur_row = cur_rows.get(key)
             if cur_row is None:
                 yield label, None, floor, False
@@ -64,13 +84,19 @@ def compare(current, baseline, tolerance):
 
 
 def update_baseline(current, path, headroom=0.5):
-    """Write the baseline as ``current * headroom`` throughput floors."""
+    """Write the baseline: ``current * headroom`` for throughput
+    sections, the prescribed fixed floor for ratio sections."""
     trimmed = {}
-    for section, (key_column, metric) in TRACKED.items():
-        trimmed[section] = [
-            {key_column: row[key_column], metric: row[metric] * headroom}
-            for row in current.get(section, [])
-        ]
+    for section, spec in TRACKED.items():
+        key_column, metric = spec["key"], spec["metric"]
+        fixed_floor = spec.get("floor")
+        rows = []
+        for row in current.get(section, []):
+            if "rows" in spec and str(row[key_column]) not in spec["rows"]:
+                continue
+            value = fixed_floor if fixed_floor is not None else row[metric] * headroom
+            rows.append({key_column: row[key_column], metric: value})
+        trimmed[section] = rows
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(trimmed, handle, indent=2)
         handle.write("\n")

@@ -1,7 +1,8 @@
 """Reduced-scale smoke benchmarks feeding the CI regression gate.
 
-Runs the sharding, service, durability, scan (fig20 smoke path), and
-replication experiments at a scale sized for a CI minute, prints their
+Runs the sharding, service, durability, scan (fig20 smoke path),
+replication, and hot-path (MULTI_GET / negative-lookup / scan-vs-hotset)
+experiments at a scale sized for a CI minute, prints their
 series, and writes one JSON file that ``check_regression.py`` compares
 against ``baselines/smoke.json`` (the replication section is asserted
 for root equality here rather than throughput-gated — process spawn
@@ -19,8 +20,11 @@ import sys
 
 from repro.bench.experiments import (
     run_durability,
+    run_multi_get,
+    run_negative_lookup,
     run_read_scaling,
     run_scan_throughput,
+    run_scan_vs_hotset,
     run_service_throughput,
     run_sharding_scalability,
 )
@@ -58,12 +62,24 @@ def main(argv) -> int:
     )
     if not replication[-1]["roots_checked"]:
         raise SystemExit("replication smoke verified no replica roots")
+    # Hot-path smoke: MULTI_GET amortization, negative-lookup caching,
+    # and scan resistance — gated on *ratio* floors (speedup / hit
+    # ratio), which hardware variance cannot flake the way absolute
+    # throughput can.
+    multi_get = run_multi_get(
+        batch_sizes=(1, 16), clients=4, ops_per_client=60, num_keys=1024, blocks=16
+    )
+    negative_lookup = run_negative_lookup(absent_keys=48, passes=20, num_keys=512)
+    scan_vs_hotset = run_scan_vs_hotset(num_keys=512, blocks=24)
     for name, rows in (
         ("sharding", sharding),
         ("service", service),
         ("durability", durability),
         ("scan", scan),
         ("replication", replication),
+        ("multi_get", multi_get),
+        ("negative_lookup", negative_lookup),
+        ("scan_vs_hotset", scan_vs_hotset),
     ):
         print(f"\n-- {name} --")
         print(
@@ -79,6 +95,9 @@ def main(argv) -> int:
                 "durability": durability,
                 "scan": scan,
                 "replication": replication,
+                "multi_get": multi_get,
+                "negative_lookup": negative_lookup,
+                "scan_vs_hotset": scan_vs_hotset,
             },
             handle,
             indent=2,

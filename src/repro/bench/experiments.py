@@ -1166,3 +1166,282 @@ def run_index_share(
         }
     finally:
         cleanup(backend, directory)
+
+
+# =============================================================================
+# Hot-path extensions: batched reads, negative lookups, scan-aware caching
+# =============================================================================
+
+def run_multi_get(
+    batch_sizes: Sequence[int] = (1, 16),
+    clients: int = 4,
+    ops_per_client: int = 100,
+    num_keys: int = 2048,
+    blocks: int = 24,
+    puts_per_block: int = 192,
+    num_shards: int = 2,
+    mem_capacity: int = 512,
+    seed: int = 7,
+) -> List[Row]:
+    """MULTI_GET amortization: keys served per second vs batch size.
+
+    One preloaded sharded engine is served once per batch size (a fresh
+    server each time, so the versioned read cache starts cold at every
+    point) and driven with a read-only closed-loop workload.  Batch size
+    1 issues plain GETs; larger sizes issue the same zipfian key stream
+    as MULTI_GET frames — one round trip, one gate acquisition, and one
+    source walk per batch instead of per key.  ``speedup`` is each
+    point's keys/s over the batch-1 point; the smoke gate holds the
+    batch-16 speedup above 2x.
+    """
+    from repro.bench.harness import BENCH_SYSTEM
+    from repro.bench.report import percentile
+    from repro.server import (
+        LoadgenParams,
+        ServerConfig,
+        ServerThread,
+        run_loadgen_sync,
+    )
+    from repro.server.loadgen import key_addr
+
+    addr_size = BENCH_SYSTEM.addr_size
+    rng = random.Random(seed)
+    directory = fresh_dir()
+    backend = make_engine(
+        "cole-shard",
+        directory,
+        cole_overrides={"num_shards": num_shards, "mem_capacity": mem_capacity},
+    )
+    rows: List[Row] = []
+    try:
+        # Preload every key (plus repeated updates) so reads pay real
+        # multi-level lookups, then issue the identical zipfian read
+        # stream per batch size.
+        for blk in range(1, blocks + 1):
+            batch = [
+                (
+                    key_addr(rng.randrange(num_keys), addr_size),
+                    rng.randbytes(BENCH_SYSTEM.value_size),
+                )
+                for _ in range(puts_per_block)
+            ]
+            backend.begin_block(blk)
+            backend.put_many(batch)
+            backend.commit_block()
+        backend.wait_for_merges()
+        base_keys_per_s: Optional[float] = None
+        for batch_size in batch_sizes:
+            with ServerThread(backend, config=ServerConfig()) as thread:
+                params = LoadgenParams(
+                    clients=clients,
+                    ops_per_client=ops_per_client,
+                    read_fraction=1.0,
+                    num_keys=num_keys,
+                    addr_size=addr_size,
+                    value_size=BENCH_SYSTEM.value_size,
+                    seed=seed,
+                    multi_get_size=batch_size,
+                )
+                report = run_loadgen_sync(
+                    thread.server.host, thread.server.port, params
+                )
+            if report.errors:
+                raise RuntimeError(
+                    f"multi-get bench errored at batch {batch_size}: "
+                    f"{report.error_samples}"
+                )
+            keys_per_s = report.reads / report.elapsed_s
+            if base_keys_per_s is None:
+                base_keys_per_s = keys_per_s
+            samples = report.mget_latencies or report.latencies
+            rows.append(
+                {
+                    "batch": batch_size,
+                    "keys": report.reads,
+                    "keys_per_s": keys_per_s,
+                    "p50_s": percentile(samples, 0.5),
+                    "p99_s": percentile(samples, 0.99),
+                    "speedup": keys_per_s / base_keys_per_s,
+                }
+            )
+    finally:
+        cleanup(backend, directory)
+    return rows
+
+
+def run_negative_lookup(
+    absent_keys: int = 64,
+    passes: int = 30,
+    num_keys: int = 1024,
+    blocks: int = 16,
+    puts_per_block: int = 128,
+    mem_capacity: int = 512,
+    seed: int = 7,
+) -> List[Row]:
+    """What the negative-lookup cache saves on repeated misses.
+
+    A preloaded engine is served twice over the same absent-address GET
+    stream: once with the negative cache disabled (every miss pays the
+    full bloom-filtered source walk — the cold-miss baseline) and once
+    enabled (the first miss per address pays the walk, the rest hit the
+    cache).  ``speedup`` is the enabled ops/s over the baseline; the
+    smoke gate holds it above 1x.
+    """
+    import asyncio
+
+    from repro.bench.harness import BENCH_SYSTEM
+    from repro.server import ServerClient, ServerConfig, ServerThread
+    from repro.server.loadgen import key_addr
+
+    from repro.common.hashing import hash_bytes
+
+    addr_size = BENCH_SYSTEM.addr_size
+    rng = random.Random(seed)
+    directory = fresh_dir()
+    backend = make_engine(
+        "cole", directory, cole_overrides={"mem_capacity": mem_capacity}
+    )
+    rows: List[Row] = []
+    try:
+        for blk in range(1, blocks + 1):
+            batch = [
+                (
+                    key_addr(rng.randrange(num_keys), addr_size),
+                    rng.randbytes(BENCH_SYSTEM.value_size),
+                )
+                for _ in range(puts_per_block)
+            ]
+            backend.begin_block(blk)
+            backend.put_many(batch)
+            backend.commit_block()
+        backend.wait_for_merges()
+        # Addresses no contract ever writes: every GET is a true miss.
+        absent = [
+            hash_bytes(f"absent:{index}".encode())[:addr_size]
+            for index in range(absent_keys)
+        ]
+
+        def drive(negative_capacity: int) -> Row:
+            config = ServerConfig(negative_cache_capacity=negative_capacity)
+            with ServerThread(backend, config=config) as thread:
+                host, port = thread.server.host, thread.server.port
+
+                async def hammer() -> Row:
+                    async with ServerClient(host, port) as client:
+                        for addr in absent:  # warm-up pass (uncounted)
+                            assert await client.get(addr) is None
+                        started = time.perf_counter()
+                        for _ in range(passes):
+                            for addr in absent:
+                                await client.get(addr)
+                        elapsed = time.perf_counter() - started
+                        stats = await client.stats()
+                    ops = passes * len(absent)
+                    return {
+                        "ops": ops,
+                        "ops_per_s": ops / elapsed,
+                        "hit_rate": stats["negative_cache"]["hit_rate"],
+                    }
+
+                return asyncio.run(hammer())
+
+        baseline = drive(0)
+        cached = drive(4096)
+        rows.append(
+            {"config": "no-cache", "speedup": 1.0, **baseline}
+        )
+        rows.append(
+            {
+                "config": "negative-cache",
+                "speedup": cached["ops_per_s"] / baseline["ops_per_s"],
+                **cached,
+            }
+        )
+    finally:
+        cleanup(backend, directory)
+    return rows
+
+
+def run_scan_vs_hotset(
+    cache_pages: int = 256,
+    hot_keys: int = 64,
+    warm_passes: int = 3,
+    num_keys: int = 1024,
+    blocks: int = 32,
+    puts_per_block: int = 128,
+    mem_capacity: int = 512,
+    seed: int = 7,
+) -> List[Row]:
+    """Scan resistance of the segmented page cache.
+
+    With the per-run value-file cache enabled, a hot set of point-read
+    addresses is warmed until its pages sit in the protected segment;
+    the hot-set GET hit rate is measured, then a full-range scan floods
+    the cache with sequential-tagged pages, and the hot-set hit rate is
+    measured again.  ``hit_ratio`` (after / before) stays near 1 when
+    the scan cannot evict the protected segment — the smoke gate holds
+    it above 0.9.
+    """
+    from repro.bench.harness import BENCH_SYSTEM
+    from repro.diskio.iostats import IOStats
+    from repro.server.loadgen import key_addr
+
+    addr_size = BENCH_SYSTEM.addr_size
+    rng = random.Random(seed)
+    stats = IOStats()
+    directory = fresh_dir()
+    backend = make_engine(
+        "cole",
+        directory,
+        stats=stats,
+        cole_overrides={
+            "mem_capacity": mem_capacity,
+            "value_cache_pages": cache_pages,
+        },
+    )
+    try:
+        for blk in range(1, blocks + 1):
+            batch = [
+                (
+                    key_addr(rng.randrange(num_keys), addr_size),
+                    rng.randbytes(BENCH_SYSTEM.value_size),
+                )
+                for _ in range(puts_per_block)
+            ]
+            backend.begin_block(blk)
+            backend.put_many(batch)
+            backend.commit_block()
+        backend.wait_for_merges()
+        hot = [key_addr(rank, addr_size) for rank in range(hot_keys)]
+
+        def hot_pass() -> None:
+            for addr in hot:
+                backend.get(addr)
+
+        def measured_hit_rate() -> float:
+            before = stats.snapshot()
+            hot_pass()
+            delta = stats.delta(before)
+            hits = sum(delta.cache_hits.values())
+            misses = sum(delta.cache_misses.values())
+            return hits / (hits + misses) if hits + misses else 0.0
+
+        for _ in range(warm_passes):
+            hot_pass()  # promote the hot pages into the protected segment
+        rate_before = measured_hit_rate()
+        scanned = backend.scan(
+            b"\x00" * addr_size, b"\xff" * addr_size, limit=num_keys
+        )
+        rate_after = measured_hit_rate()
+        return [
+            {
+                "cache_pages": cache_pages,
+                "hot_keys": hot_keys,
+                "scanned": len(scanned),
+                "hit_rate_before": rate_before,
+                "hit_rate_after": rate_after,
+                "hit_ratio": rate_after / rate_before if rate_before else 0.0,
+            }
+        ]
+    finally:
+        cleanup(backend, directory)

@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli serve /path/to/replica --replica-of 127.0.0.1:7407
     python -m repro.cli loadgen --port 7407 --clients 32 --ops 200 [--json]
     python -m repro.cli loadgen --port 7407 --workload E [--scan-len 50]
+    python -m repro.cli loadgen --port 7407 --multi-get-size 16
     python -m repro.cli snapshot /path/to/workspace /path/to/snapshot
     python -m repro.cli restore /path/to/snapshot /path/to/new-workspace
 """
@@ -37,6 +38,9 @@ _EXPERIMENTS = {
     "fig20": ("run_scan_throughput", {}),
     "table1": ("run_complexity_table", {}),
     "index-share": ("run_index_share", {}),
+    "multi-get": ("run_multi_get", {}),
+    "negative-lookup": ("run_negative_lookup", {}),
+    "scan-hotset": ("run_scan_vs_hotset", {}),
 }
 
 #: Default WAL directory inside a workspace (a sibling of the shard /
@@ -243,6 +247,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         batch_max_puts=args.batch_puts,
         batch_max_delay=args.batch_delay_ms / 1000.0,
         cache_capacity=args.cache_capacity,
+        negative_cache_capacity=args.negative_cache_capacity,
     )
     server = ColeServer(
         engine,
@@ -369,6 +374,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         mode=args.mode,
         rate=args.rate,
         seed=args.seed,
+        multi_get_size=args.multi_get_size,
     )
     if args.workload:
         # A YCSB workload letter presets the op mix (E = scan heavy);
@@ -438,6 +444,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="group-commit time threshold (milliseconds)",
     )
     serve.add_argument("--cache-capacity", type=int, default=8192)
+    serve.add_argument(
+        "--negative-cache-capacity",
+        type=int,
+        default=4096,
+        help="known-absent address cache entries (0 disables)",
+    )
     serve.add_argument(
         "--wal",
         action="store_true",
@@ -523,6 +535,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--rate", type=float, default=2000.0, help="total ops/s (open loop)"
     )
     loadgen.add_argument("--seed", type=int, default=7)
+    loadgen.add_argument(
+        "--multi-get-size",
+        type=int,
+        default=1,
+        help="issue reads as MULTI_GET batches of this many keys "
+        "(1 = plain GETs)",
+    )
     loadgen.add_argument(
         "--json", action="store_true", help="print the report as JSON"
     )

@@ -72,6 +72,11 @@ class ColeParams:
         async_merge: ``True`` runs Algorithm 5 (COLE*), ``False`` Algorithm 1.
         bloom_bits_per_key: bloom-filter budget per distinct address.
         bloom_hashes: number of bloom hash functions.
+        value_cache_pages: per-run value-file page-cache capacity (the
+            segmented LRU of ``repro.diskio.pagefile``).  0 — the default —
+            disables caching so the IO-cost accounting of Table 1 counts
+            every raw page access; the serving layer and the cache
+            benchmarks opt in.
     """
 
     system: SystemParams = SystemParams()
@@ -81,8 +86,11 @@ class ColeParams:
     async_merge: bool = False
     bloom_bits_per_key: int = 10
     bloom_hashes: int = 7
+    value_cache_pages: int = 0
 
     def __post_init__(self) -> None:
+        if self.value_cache_pages < 0:
+            raise ValueError("value_cache_pages cannot be negative")
         if self.size_ratio < 2:
             raise ValueError("size_ratio must be >= 2")
         if self.mht_fanout < 2:

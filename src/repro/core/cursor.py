@@ -99,7 +99,9 @@ class RunCursor(Cursor):
             entry, position = floor
             if entry[0] < key:
                 position += 1
-        self._iter = run.value_file.scan_from(position)
+        # Streaming read: tagged sequential so one big scan cannot evict
+        # the page cache's protected (hot point-read) segment.
+        self._iter = run.value_file.scan_from(position, sequential=True)
 
     def next(self) -> Optional[Entry]:
         if self._iter is None:

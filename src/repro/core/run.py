@@ -67,7 +67,13 @@ class Run:
         self.bloom = bloom
         system = params.system
         self.value_file = ValueFile(
-            workspace.open_file(f"{name}.val", category="value"), num_entries, system
+            workspace.open_file(
+                f"{name}.val",
+                category="value",
+                cache_pages=params.value_cache_pages,
+            ),
+            num_entries,
+            system,
         )
         self.index_file = IndexFile(
             workspace.open_file(f"{name}.idx", category="index"), system
@@ -93,8 +99,15 @@ class Run:
     ) -> "Run":
         """Build a run by streaming ``entries`` (sorted, exact count) once."""
         system = params.system
+        # cache_pages must match Run.__init__'s open of the same file —
+        # the workspace's handle cache rejects mismatched re-opens.
         value_writer = ValueFileWriter(
-            workspace.open_file(f"{name}.val", category="value"), system
+            workspace.open_file(
+                f"{name}.val",
+                category="value",
+                cache_pages=params.value_cache_pages,
+            ),
+            system,
         )
         index_builder = IndexFileBuilder(
             workspace.open_file(f"{name}.idx", category="index"), system

@@ -347,6 +347,40 @@ class Cole:
         with self.gate.shared():
             return self._lookup(CompoundKey(addr=addr, blk=blk).to_int(), addr)
 
+    def get_many(self, addrs: List[bytes]) -> List[Optional[bytes]]:
+        """Batched :meth:`get`: latest values, positionally matched.
+
+        One gate hold and one walk of the memoized source enumeration
+        serve the whole batch, instead of a hold + walk per key.  Within
+        each source the still-unresolved addresses are bloom-filtered
+        and probed in ascending key order, so a run's index and value
+        files are touched sequentially rather than in request order.
+        An address resolved by a fresher source is never probed again
+        in older ones (Algorithm 6's first-hit-wins, batch-wide).
+        """
+        addr_size = self._addr_size()
+        results: List[Optional[bytes]] = [None] * len(addrs)
+        # Duplicates in one batch resolve to the same snapshot answer;
+        # probe each distinct address once and fan the value back out.
+        pending: Dict[bytes, List[int]] = {}
+        for index, addr in enumerate(addrs):
+            pending.setdefault(addr, []).append(index)
+        with self.gate.shared():
+            for source in self._read_sources():
+                if not pending:
+                    break
+                candidates = sorted(
+                    addr for addr in pending if source.may_contain(addr)
+                )
+                for addr in candidates:
+                    found = source.floor_search(
+                        CompoundKey.latest_of(addr).to_int()
+                    )
+                    if found is not None and addr_of_int(found[0], addr_size) == addr:
+                        for index in pending.pop(addr):
+                            results[index] = found[1]
+        return results
+
     def _lookup(self, key: int, addr: bytes) -> Optional[bytes]:
         """Floor-search every source in freshness order (Algorithm 6):
         the newest entry for ``addr`` with compound key <= ``key``."""

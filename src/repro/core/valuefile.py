@@ -147,18 +147,22 @@ class ValueFile:
         slot = lo - 1
         return self._slot_entry(data, slot), page_id * self._pairs_per_page + slot
 
-    def scan_from(self, position: int) -> Iterator[Tuple[Entry, int]]:
+    def scan_from(
+        self, position: int, sequential: bool = True
+    ) -> Iterator[Tuple[Entry, int]]:
         """Yield ``(pair, position)`` sequentially starting at ``position``.
 
         The streaming read of provenance queries (Algorithm 8 lines
         14-17) and of every run cursor: one page read per
         ``pairs_per_page`` pairs, each pair decoded only when the
         consumer actually pulls it (a limit-bounded scan stops paying
-        mid-page).
+        mid-page).  Pages are read with the ``sequential`` hint (default
+        on — every scan_from caller is streaming), so one large scan
+        cannot evict the page cache's protected hot set.
         """
         page_id = self.page_of(position)
         while position < self.num_entries:
-            data = self._file.read_page(page_id)
+            data = self._file.read_page(page_id, sequential=sequential)
             first = page_id * self._pairs_per_page
             for slot in range(position - first, self._page_count(page_id)):
                 yield self._slot_entry(data, slot), position
@@ -167,7 +171,7 @@ class ValueFile:
 
     def iter_entries(self) -> Iterator[Entry]:
         """Yield all pairs in key order (sequential page reads)."""
-        for entry, _position in self.scan_from(0):
+        for entry, _position in self.scan_from(0, sequential=True):
             yield entry
 
 

@@ -8,6 +8,18 @@ Sequential producers (value files, index files, Merkle files are all
 written streamingly — Algorithms 3 and 4) use :meth:`append_page`; readers
 use :meth:`read_page`.  A tiny optional read cache models the page cache a
 real deployment would enjoy without hiding the first (cold) access.
+
+The cache is a **segmented LRU** (probationary + protected, SLRU): a
+page enters the probationary segment on fill and is promoted to the
+protected segment only on a re-reference — so the hot working set, which
+gets re-referenced, accumulates in the protected segment, while a large
+one-pass scan streams through probation and evicts only other one-pass
+pages.  Readers that *know* they are streaming (run cursors, merge
+iterators) pass ``sequential=True`` to :meth:`read_page`, which
+additionally suppresses promotion on re-reference: a scan revisiting a
+page (two cursor seeks landing nearby) is still not evidence of
+point-read hotness.  Hit/miss/promotion counts are recorded in the
+:class:`IOStats` per category.
 """
 
 from __future__ import annotations
@@ -59,8 +71,13 @@ class PagedFile:
         self._file = open(path, mode, buffering=0)
         self._fd = self._file.fileno()
         self._num_pages = os.path.getsize(path) // page_size
-        self._cache: "OrderedDict[int, bytes]" = OrderedDict()
+        # Segmented LRU: fills land in probation, a (non-sequential)
+        # re-reference promotes to protected.  Protected holds ~80% of
+        # the budget; at tiny capacities it degrades to a plain LRU.
+        self._probation: "OrderedDict[int, bytes]" = OrderedDict()
+        self._protected: "OrderedDict[int, bytes]" = OrderedDict()
         self._cache_capacity = cache_pages
+        self._protected_capacity = (cache_pages * 4) // 5
         self._closed = False
         # Guards cache bookkeeping and the write-side file position
         # only.  Reads are positional (pread) and lock-free past the
@@ -96,7 +113,7 @@ class PagedFile:
 
     # -- IO ----------------------------------------------------------------
 
-    def read_page(self, page_id: int) -> bytes:
+    def read_page(self, page_id: int, sequential: bool = False) -> bytes:
         """Return the ``page_size`` bytes of page ``page_id``.
 
         Cache hits are free; misses cost one page read.  The read is a
@@ -106,16 +123,24 @@ class PagedFile:
         releases the GIL).  Two threads missing the same page may both
         read it (each billed); the lock only serializing them bought
         nothing but contention.
+
+        ``sequential=True`` marks a streaming access (cursor scans,
+        merge reads): the page still fills/hits the cache, but a
+        probationary hit does not promote — one scan pass must not look
+        like point-read hotness to the segmented LRU.
         """
         self._check_open()
         if not 0 <= page_id < self._num_pages:
             raise StorageError(
                 f"page {page_id} out of range [0, {self._num_pages}) in {self.path}"
             )
-        with self._lock:
-            cached = self._cache_get(page_id)
-        if cached is not None:
-            return cached
+        if self._cache_capacity:
+            with self._lock:
+                cached = self._cache_get(page_id, sequential)
+            if cached is not None:
+                self.stats.record_cache_hit(self.category)
+                return cached
+            self.stats.record_cache_miss(self.category)
         data = os.pread(self._fd, self.page_size, page_id * self.page_size)
         if len(data) != self.page_size:
             raise StorageError(f"short read of page {page_id} in {self.path}")
@@ -125,7 +150,7 @@ class PagedFile:
                 # A writer (or another reader) may have filled this slot
                 # while our pread ran lock-free; never clobber it — a
                 # concurrent write_page's fill is fresher than our read.
-                if page_id not in self._cache:
+                if page_id not in self._probation and page_id not in self._protected:
                     self._cache_put(page_id, data)
         return data
 
@@ -194,18 +219,47 @@ class PagedFile:
         if self._closed:
             raise StorageError(f"paged file is closed: {self.path}")
 
-    def _cache_get(self, page_id: int) -> Optional[bytes]:
-        if self._cache_capacity == 0:
-            return None
-        data = self._cache.get(page_id)
+    def _cache_get(self, page_id: int, sequential: bool = False) -> Optional[bytes]:
+        """Segmented-LRU probe (caller holds the lock, capacity > 0)."""
+        data = self._protected.get(page_id)
         if data is not None:
-            self._cache.move_to_end(page_id)
+            self._protected.move_to_end(page_id)
+            return data
+        data = self._probation.get(page_id)
+        if data is None:
+            return None
+        if sequential or self._protected_capacity == 0:
+            # Streaming re-reference (or a cache too small to segment):
+            # refresh recency in probation, no promotion.
+            self._probation.move_to_end(page_id)
+            return data
+        # Second (point) hit: promote.  Protected overflow demotes its
+        # coldest page back to probation MRU rather than dropping it —
+        # it was hot once, give it one more chance over a never-hit fill.
+        del self._probation[page_id]
+        self._protected[page_id] = data
+        self.stats.record_cache_promotion(self.category)
+        while len(self._protected) > self._protected_capacity:
+            demoted_id, demoted = self._protected.popitem(last=False)
+            self._probation[demoted_id] = demoted
+            self._probation.move_to_end(demoted_id)
+        self._trim()
         return data
 
     def _cache_put(self, page_id: int, data: bytes) -> None:
         if self._cache_capacity == 0:
             return
-        self._cache[page_id] = data
-        self._cache.move_to_end(page_id)
-        while len(self._cache) > self._cache_capacity:
-            self._cache.popitem(last=False)
+        # Fills are always probationary: a first touch — point read,
+        # scan, or write — is not yet evidence of hotness.
+        self._probation[page_id] = data
+        self._probation.move_to_end(page_id)
+        self._trim()
+
+    def _trim(self) -> None:
+        """Enforce the total budget: evict probation first, cold-protected
+        last (only reachable when protected alone exceeds the budget)."""
+        while len(self._probation) + len(self._protected) > self._cache_capacity:
+            if self._probation:
+                self._probation.popitem(last=False)
+            else:
+                self._protected.popitem(last=False)

@@ -100,6 +100,7 @@ class WriteBatcher:
         # Accounting (exposed via the STATS op).
         self.commits = 0
         self.batched_puts = 0
+        self.multi_put_batches = 0
         self.size_flushes = 0
         self.timer_flushes = 0
         self.forced_flushes = 0
@@ -128,6 +129,33 @@ class WriteBatcher:
             self.last_put_lsn = self.wal.append_put(addr, value, height)
         self._active_items.append((addr, value))
         self._active_overlay[addr] = value
+        if len(self._active_items) >= self.max_batch:
+            self.size_flushes += 1
+            self._spawn_flush()
+        elif self._timer is None:
+            loop = asyncio.get_running_loop()
+            self._timer = loop.call_later(self.max_delay, self._on_timer)
+        return height
+
+    def put_batch(self, items: List[Tuple[bytes, bytes]]) -> int:
+        """Buffer one MULTI_PUT batch as a unit; returns its commit height.
+
+        The whole batch joins the active block atomically — every key
+        commits at the same height, which is what the MULTI_PUT response
+        promises — and with a WAL attached the batch is one
+        ``append_puts`` call (one record per touched shard chain)
+        instead of a record per key.  Same WAL-first ordering as
+        :meth:`put`: a failed append leaves nothing buffered.
+        """
+        if self._closed:
+            raise StorageError("server is shutting down")
+        height = self._next_height
+        if self.wal is not None:
+            self.last_put_lsn = self.wal.append_puts(items, height)
+        self._active_items.extend(items)
+        for addr, value in items:
+            self._active_overlay[addr] = value
+        self.multi_put_batches += 1
         if len(self._active_items) >= self.max_batch:
             self.size_flushes += 1
             self._spawn_flush()

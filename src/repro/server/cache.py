@@ -1,4 +1,5 @@
-"""The versioned read cache: hot-key answers, invalidated by commit version.
+"""Versioned read-path caches: hot-key answers and known-absent keys,
+both invalidated by commit version.
 
 Cached answers must be *exact* — a stale value served after a group
 commit would break the byte-identical guarantee the serving layer makes
@@ -19,6 +20,14 @@ the bump.
 
 Eviction is LRU with a fixed capacity; stale entries are additionally
 dropped lazily when a lookup trips over them.
+
+:class:`NegativeLookupCache` is the same epoch scheme specialized to
+*absence*: an address proven missing by a full source walk is remembered
+until the next commit, so repeated misses (zipfian reads over a sparse
+keyspace) short-circuit before any bloom probe or index descent.  It
+lives beside the read cache rather than inside it so a miss-heavy
+workload cannot evict the hot positive working set — the two caches
+compete for nothing but share the ``advance()`` invalidation rule.
 """
 
 from __future__ import annotations
@@ -106,6 +115,90 @@ class VersionedReadCache:
         instant with a ``misses`` from another.  Every derived number
         here comes from a single locked read.
         """
+        with self._lock:
+            hits, misses = self.hits, self.misses
+            entries = len(self._entries)
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "lookups": total,
+            "hit_rate": hits / total if total else 0.0,
+            "entries": entries,
+            "capacity": self.capacity,
+        }
+
+    def clear(self) -> None:
+        """Drop all entries and counters (the epoch floor stays)."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+class NegativeLookupCache:
+    """An LRU set of ``addr -> version`` recording proven absence.
+
+    ``contains(addr, version)`` answers "was ``addr`` proven absent at
+    exactly this commit version?" — the only version a hit is sound at,
+    by the same exactness argument as :class:`VersionedReadCache`: the
+    committed state is immutable between commits, and the batcher
+    overlay (consulted first) covers everything newer.  Thread-safe.
+    Capacity 0 disables the cache (every add is immediately evicted) —
+    the cold-miss baseline of the negative-lookup benchmark.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 0:
+            raise ValueError("cache capacity cannot be negative")
+        self.capacity = capacity
+        self._entries: "OrderedDict[bytes, int]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._floor = 0
+        self.hits = 0
+        self.misses = 0
+
+    def contains(self, addr: bytes, version: int) -> bool:
+        """True when ``addr`` is known absent at commit ``version``."""
+        with self._lock:
+            stamp = self._entries.get(addr)
+            if stamp is None:
+                self.misses += 1
+                return False
+            if stamp != version:
+                del self._entries[addr]  # stale epoch: lazily evict
+                self.misses += 1
+                return False
+            self._entries.move_to_end(addr)
+            self.hits += 1
+            return True
+
+    def add(self, addr: bytes, version: int) -> None:
+        """Record that a full walk at ``version`` found nothing.
+
+        Fills that raced a commit (stamped below the epoch floor) are
+        dropped — they could never hit but could evict a live entry.
+        """
+        with self._lock:
+            if version < self._floor:
+                return
+            self._entries[addr] = version
+            self._entries.move_to_end(addr)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def advance(self, version: int) -> None:
+        """Raise the epoch floor (called at every group commit)."""
+        with self._lock:
+            if version > self._floor:
+                self._floor = version
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        """One consistent snapshot of the counters, under the lock."""
         with self._lock:
             hits, misses = self.hits, self.misses
             entries = len(self._entries)

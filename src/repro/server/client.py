@@ -78,8 +78,20 @@ class _Connection:
         # FIFO future queue matches the server's response order.
         async with self._send_lock:
             self._pending.append(future)
-            self.writer.write(frame)
-            await self.writer.drain()
+            try:
+                self.writer.write(frame)
+                await self.writer.drain()
+            except BaseException:
+                # A send that never reached the server must not leave its
+                # future in the FIFO queue: the next response would resolve
+                # the orphan and desynchronize every later request on this
+                # connection.  (The read loop may have failed it already —
+                # hence the guarded remove.)
+                try:
+                    self._pending.remove(future)
+                except ValueError:
+                    pass
+                raise
         return await future
 
     async def close(self) -> None:
@@ -166,6 +178,21 @@ class ServerClient:
         """Value of ``addr`` as of block ``blk``."""
         body = await self._conn().request(protocol.encode_get_at(addr, blk))
         return protocol.decode_value_response(body)
+
+    async def multi_get(self, addrs: Sequence[bytes]) -> List[Optional[bytes]]:
+        """Latest values of ``addrs`` in one round trip, positionally
+        matched (``None`` per absent address).  Encoded — and its batch
+        size validated — before any connection is touched."""
+        frame = protocol.encode_multi_get(list(addrs))
+        body = await self._conn().request(frame)
+        return protocol.decode_multi_get_response(body)
+
+    async def multi_put(self, items: Sequence[Tuple[bytes, bytes]]) -> int:
+        """Write a whole ``(addr, value)`` batch in one round trip;
+        returns the single block height the batch will commit at."""
+        frame = protocol.encode_multi_put(list(items))
+        body = await self._conn().request(frame)
+        return protocol.decode_height_response(body)
 
     async def prov(
         self, addr: bytes, blk_low: int, blk_high: int
@@ -363,6 +390,10 @@ class ReplicatedClient:
         """Value of ``addr`` as of block ``blk`` from any replica."""
         return await self._read(lambda client: client.get_at(addr, blk))
 
+    async def multi_get(self, addrs: Sequence[bytes]) -> List[Optional[bytes]]:
+        """Batched latest-value read from any replica (primary fallback)."""
+        return await self._read(lambda client: client.multi_get(addrs))
+
     async def prov(
         self, addr: bytes, blk_low: int, blk_high: int
     ) -> Tuple[object, bytes]:
@@ -412,6 +443,10 @@ class ReplicatedClient:
     async def put(self, addr: bytes, value: bytes) -> int:
         """Write through the primary (follows NOT_PRIMARY referrals)."""
         return await self._on_primary(lambda client: client.put(addr, value))
+
+    async def multi_put(self, items: Sequence[Tuple[bytes, bytes]]) -> int:
+        """Batched write through the primary (follows referrals)."""
+        return await self._on_primary(lambda client: client.multi_put(items))
 
     async def flush(self) -> RootInfo:
         """Force a group commit on the primary."""

@@ -37,9 +37,10 @@ from repro.server.client import ServerClient
 from repro.server.protocol import NotPrimaryError
 from repro.workloads.ycsb import YCSBGenerator, ZipfGenerator
 
-#: One op: ("get", addr, None), ("put", addr, value), or
-#: ("scan", start_addr, max_results).
-ClientOp = Tuple[str, bytes, Optional[object]]
+#: One op: ("get", addr, None), ("put", addr, value),
+#: ("scan", start_addr, max_results), or ("mget", (addr, ...), None) —
+#: one MULTI_GET batch issued as a single request.
+ClientOp = Tuple[str, object, Optional[object]]
 
 
 @dataclass(frozen=True)
@@ -58,6 +59,9 @@ class LoadgenParams:
     seed: int = 7
     mode: str = "closed"  # "closed" or "open"
     rate: float = 2000.0  # total target ops/s (open loop only)
+    #: reads per MULTI_GET batch; 1 keeps plain GETs (and a stream
+    #: bit-identical to the pre-batching generator).
+    multi_get_size: int = 1
 
     def __post_init__(self) -> None:
         if self.clients < 1:
@@ -74,6 +78,8 @@ class LoadgenParams:
             raise ValueError("mode must be 'closed' or 'open'")
         if self.mode == "open" and self.rate <= 0:
             raise ValueError("open loop needs a positive rate")
+        if self.multi_get_size < 1:
+            raise ValueError("multi_get_size must be >= 1")
 
     @classmethod
     def for_workload(cls, workload: str, **overrides) -> "LoadgenParams":
@@ -119,6 +125,10 @@ def client_ops(params: LoadgenParams, client_id: int) -> List[ClientOp]:
     over the *address* space, the standard scan shape for hash-ordered
     stores.  With ``scan_fraction == 0`` the stream is bit-identical to
     the pre-scan generator (one RNG draw per op decides the kind).
+
+    With ``multi_get_size > 1`` each read op instead draws that many
+    zipfian ranks and becomes one ``("mget", ...)`` batch — the same
+    popularity distribution, issued as a single MULTI_GET request.
     """
     import random
 
@@ -142,8 +152,15 @@ def client_ops(params: LoadgenParams, client_id: int) -> List[ClientOp]:
             length = rng.randint(1, params.scan_length)
             ops.append(("scan", key_addr(rank, params.addr_size), length))
         elif roll < params.scan_fraction + params.read_fraction or not owned:
-            rank = zipf_reads.next_rank()
-            ops.append(("get", key_addr(rank, params.addr_size), None))
+            if params.multi_get_size > 1:
+                batch = tuple(
+                    key_addr(zipf_reads.next_rank(), params.addr_size)
+                    for _ in range(params.multi_get_size)
+                )
+                ops.append(("mget", batch, None))
+            else:
+                rank = zipf_reads.next_rank()
+                ops.append(("get", key_addr(rank, params.addr_size), None))
         else:
             rank = owned[zipf_writes.next_rank()]
             ops.append(
@@ -206,6 +223,8 @@ class LoadReport:
     reads: int = 0
     writes: int = 0
     scans: int = 0
+    #: MULTI_GET batches issued (each counts 1 op; its keys count as reads).
+    mgets: int = 0
     #: key-value triples returned across all scans (scan "depth" served).
     scanned_entries: int = 0
     errors: int = 0
@@ -216,6 +235,7 @@ class LoadReport:
     elapsed_s: float = 0.0
     latencies: List[float] = field(default_factory=list)  # per-op seconds
     scan_latencies: List[float] = field(default_factory=list)  # scans only
+    mget_latencies: List[float] = field(default_factory=list)  # mget batches
     server_stats: dict = field(default_factory=dict)
 
     def record_ok(self, op: ClientOp, latency: float, result=None) -> None:
@@ -225,6 +245,10 @@ class LoadReport:
         kind = op[0]
         if kind == "get":
             self.reads += 1
+        elif kind == "mget":
+            self.mgets += 1
+            self.reads += len(op[1])  # every key in the batch is a read
+            self.mget_latencies.append(latency)
         elif kind == "scan":
             self.scans += 1
             self.scan_latencies.append(latency)
@@ -264,6 +288,7 @@ class LoadReport:
             "reads": self.reads,
             "writes": self.writes,
             "scans": self.scans,
+            "mgets": self.mgets,
             "scanned_entries": self.scanned_entries,
             "errors": self.errors,
             "errors_by_type": dict(self.errors_by_type),
@@ -278,6 +303,12 @@ class LoadReport:
             "scan_p99_s": (
                 percentile(self.scan_latencies, 0.99) if self.scan_latencies else 0.0
             ),
+            "mget_p50_s": (
+                percentile(self.mget_latencies, 0.5) if self.mget_latencies else 0.0
+            ),
+            "mget_p99_s": (
+                percentile(self.mget_latencies, 0.99) if self.mget_latencies else 0.0
+            ),
             "cache_hit_rate": self.cache_hit_rate,
             "server_stats": self.server_stats,
         }
@@ -287,6 +318,8 @@ async def _issue(client: ServerClient, op: ClientOp):
     kind, addr, extra = op
     if kind == "get":
         return await client.get(addr)
+    if kind == "mget":
+        return await client.multi_get(list(addr))
     if kind == "scan":
         # Open-ended upward from the zipfian start address: with hashed
         # addresses any contiguous address window is an unbiased sample.
@@ -383,6 +416,8 @@ def format_report(report: LoadReport) -> str:
     )
 
     ops_line = f"ops:             {report.ops} ({report.reads} reads, "
+    if report.mgets:
+        ops_line += f"{report.mgets} mget batches, "
     if report.scans:
         ops_line += f"{report.scans} scans, "
     ops_line += f"{report.writes} writes, {report.errors} errors)"
@@ -416,6 +451,8 @@ def format_report(report: LoadReport) -> str:
 
     if report.latencies:
         lines.append(latency_line("latency:         ", report.latencies))
+    if report.mget_latencies:
+        lines.append(latency_line("mget latency:    ", report.mget_latencies))
     if report.scan_latencies:
         lines.append(latency_line("scan latency:    ", report.scan_latencies))
         lines.append(
@@ -428,6 +465,13 @@ def format_report(report: LoadReport) -> str:
             f"read cache:      {cache['hits']} hits / "
             f"{cache['hits'] + cache['misses']} lookups "
             f"({cache['hit_rate']:.1%})"
+        )
+    negative = report.server_stats.get("negative_cache")
+    if negative and (negative["hits"] or negative["misses"]):
+        lines.append(
+            f"negative cache:  {negative['hits']} hits / "
+            f"{negative['hits'] + negative['misses']} lookups "
+            f"({negative['hit_rate']:.1%})"
         )
     batcher = report.server_stats.get("batcher")
     if batcher:

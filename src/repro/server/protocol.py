@@ -18,6 +18,10 @@ op              request payload                      OK response payload
 PUT             addr16, value32                      u64 block height assigned
 GET             addr16                               value32 (or NOT_FOUND)
 GET_AT          addr16, u64 blk                      value32 (or NOT_FOUND)
+MULTI_GET       u16 count, count x addr16            u16 count, count x
+                                                     (u8 present, [value32])
+MULTI_PUT       u16 count, count x (addr16,          u64 block height assigned
+                value32)                             to the whole batch
 PROV            addr16, u64 blk_low, u64 blk_high    blob32 (pickled result)
 SCAN            lo16, hi16, u64 at_blk, u32 limit    one result page: u8 more,
                                                      [cont16,] u64 snapshot
@@ -30,6 +34,18 @@ FLUSH           —                                    digest16, u64 ver, u64 bl
 REPL_SUBSCRIBE  u64 start_height                     u64 primary height, then
                                                      a stream of record frames
 ==============  ===================================  =========================
+
+``MULTI_GET`` / ``MULTI_PUT`` are the vectorized point ops: N keys cost
+one round trip, one frame parse, and (for puts) one batcher handoff and
+one WAL append instead of N.  The MULTI_GET response carries per-key
+results *positionally* — entry ``i`` answers address ``i`` — with a
+``present`` flag standing in for the per-key NOT_FOUND status.  A
+MULTI_PUT batch buffers as one unit, so every key commits at the same
+block height and the response carries that single height.  Batches are
+bounded by :data:`MAX_MULTI_BATCH` keys; empty and oversize batches are
+rejected at decode time with a clean ERROR status, as are frames whose
+``count`` disagrees with the payload actually attached (truncation and
+trailing garbage both).
 
 ``SCAN`` is the key-ordered range read: the live version of every
 address in ``[lo, hi]`` as of block ``at_blk`` (``LATEST_BLK`` = the
@@ -80,6 +96,11 @@ from repro.common.errors import StorageError
 
 MAX_FRAME = 64 * 1024 * 1024  # hard cap against corrupt / hostile lengths
 
+#: Hard cap on keys per MULTI_GET / MULTI_PUT batch.  Large enough for
+#: any sane pipelining depth, small enough that one batch cannot pin the
+#: event loop or approach MAX_FRAME with ordinary value sizes.
+MAX_MULTI_BATCH = 4096
+
 #: ``at_blk`` sentinel meaning "the latest committed state" (u64 max —
 #: the same value :data:`repro.core.compound.MAX_BLK` gives the floor
 #: search, so encoding latest scans needs no special casing anywhere).
@@ -102,6 +123,8 @@ class Op:
     FLUSH = 7
     REPL_SUBSCRIBE = 8
     SCAN = 9
+    MULTI_GET = 10
+    MULTI_PUT = 11
 
 
 class Status:
@@ -226,6 +249,33 @@ def encode_scan(
     )
 
 
+def _check_batch_count(count: int) -> int:
+    """Validate a MULTI_* batch size (client and server share the rule)."""
+    if count == 0:
+        raise StorageError("empty MULTI batch")
+    if count > MAX_MULTI_BATCH:
+        raise StorageError(
+            f"MULTI batch of {count} keys exceeds the {MAX_MULTI_BATCH}-key cap"
+        )
+    return count
+
+
+def encode_multi_get(addrs: List[bytes]) -> bytes:
+    """One MULTI_GET request: ``count`` addresses, one frame."""
+    _check_batch_count(len(addrs))
+    parts = [bytes([Op.MULTI_GET]), _U16.pack(len(addrs))]
+    parts.extend(pack_bytes16(addr) for addr in addrs)
+    return encode_frame(b"".join(parts))
+
+
+def encode_multi_put(items: List[Tuple[bytes, bytes]]) -> bytes:
+    """One MULTI_PUT request: ``count`` (addr, value) pairs, one frame."""
+    _check_batch_count(len(items))
+    parts = [bytes([Op.MULTI_PUT]), _U16.pack(len(items))]
+    parts.extend(pack_bytes16(addr) + pack_bytes32(value) for addr, value in items)
+    return encode_frame(b"".join(parts))
+
+
 def encode_simple(op: int) -> bytes:
     """ROOT / STATS / FLUSH — opcode-only requests."""
     return encode_frame(bytes([op]))
@@ -250,6 +300,18 @@ def decode_request(body: bytes) -> Tuple[int, tuple]:
         return op, (cursor.bytes16(), cursor.u64(), cursor.u64())
     if op == Op.SCAN:
         return op, (cursor.bytes16(), cursor.bytes16(), cursor.u64(), cursor.u32())
+    if op == Op.MULTI_GET:
+        count = _check_batch_count(cursor.u16())
+        addrs = [cursor.bytes16() for _ in range(count)]
+        if not cursor.done():
+            raise StorageError("trailing bytes after MULTI_GET batch")
+        return op, (addrs,)
+    if op == Op.MULTI_PUT:
+        count = _check_batch_count(cursor.u16())
+        items = [(cursor.bytes16(), cursor.bytes32()) for _ in range(count)]
+        if not cursor.done():
+            raise StorageError("trailing bytes after MULTI_PUT batch")
+        return op, (items,)
     if op == Op.REPL_SUBSCRIBE:
         return op, (cursor.u64(),)
     if op in (Op.ROOT, Op.STATS, Op.FLUSH):
@@ -341,6 +403,33 @@ def decode_blob_response(body: bytes) -> bytes:
 
 def decode_prov_response(body: bytes) -> object:
     return pickle.loads(decode_blob_response(body))
+
+
+def encode_multi_get_response(values: List[Optional[bytes]]) -> bytes:
+    """MULTI_GET response: per-key results, positionally matched.
+
+    A per-key miss is a ``present=0`` flag rather than a frame-level
+    NOT_FOUND — one frame answers every key in the batch.
+    """
+    parts = [_U16.pack(len(values))]
+    for value in values:
+        if value is None:
+            parts.append(bytes([0]))
+        else:
+            parts.append(bytes([1]) + pack_bytes32(value))
+    return encode_ok(b"".join(parts))
+
+
+def decode_multi_get_response(body: bytes) -> List[Optional[bytes]]:
+    cursor = Cursor(body)
+    check_status(cursor)
+    count = cursor.u16()
+    values: List[Optional[bytes]] = [
+        cursor.bytes32() if cursor.u8() else None for _ in range(count)
+    ]
+    if not cursor.done():
+        raise StorageError("trailing bytes after MULTI_GET response")
+    return values
 
 
 #: One scan result triple: (address, written-at height, value).

@@ -63,7 +63,7 @@ from typing import List, Optional, Set, Tuple
 from repro.common.errors import StorageError
 from repro.server import protocol
 from repro.server.batcher import MISSING, WriteBatcher
-from repro.server.cache import VersionedReadCache
+from repro.server.cache import NegativeLookupCache, VersionedReadCache
 from repro.server.protocol import Op, RootInfo
 
 
@@ -75,12 +75,15 @@ class ServerConfig:
         batch_max_puts: group-commit size threshold.
         batch_max_delay: group-commit time threshold (seconds).
         cache_capacity: entries in the versioned read cache.
+        negative_cache_capacity: addresses in the negative-lookup cache
+            (0 disables it).
         executor_workers: threads running engine work (reads + commits).
     """
 
     batch_max_puts: int = 512
     batch_max_delay: float = 0.01
     cache_capacity: int = 8192
+    negative_cache_capacity: int = 4096
     executor_workers: int = 8
     #: Hard cap on triples per SCAN result page (bounds frame sizes and
     #: per-request engine work; longer scans ride the continuation key).
@@ -97,6 +100,8 @@ class ServerConfig:
             raise ValueError("executor_workers must be >= 1")
         if self.scan_page_max < 1 or self.scan_page_default < 1:
             raise ValueError("scan page sizes must be >= 1")
+        if self.negative_cache_capacity < 0:
+            raise ValueError("negative_cache_capacity cannot be negative")
 
 
 class _WalSyncer:
@@ -197,6 +202,7 @@ class ColeServer:
         self.hub = None  # ReplicationHub on a WAL-enabled primary
         self._replica_task: Optional[asyncio.Task] = None
         self.cache = VersionedReadCache(self.config.cache_capacity)
+        self.negative = NegativeLookupCache(self.config.negative_cache_capacity)
         #: Commit version: the read-cache epoch, bumped per group commit.
         self.version = 0
         self.batcher: Optional[WriteBatcher] = None
@@ -207,7 +213,7 @@ class ColeServer:
         # Op counters (STATS).
         self.op_counts = {"put": 0, "get": 0, "get_at": 0, "prov": 0,
                           "scan": 0, "root": 0, "stats": 0, "flush": 0,
-                          "repl": 0}
+                          "repl": 0, "multi_get": 0, "multi_put": 0}
         self.overlay_hits = 0
         self.connections_total = 0
 
@@ -317,6 +323,7 @@ class ColeServer:
         those are covered by the overlay until this very instant)."""
         self.version += 1
         self.cache.advance(self.version)
+        self.negative.advance(self.version)
 
     def _replica_committed(self, height: int, root) -> None:
         """Replica-apply hook: an applied primary commit is this server's
@@ -370,8 +377,10 @@ class ColeServer:
                 pass
 
     async def _dispatch(self, op: int, args: tuple) -> bytes:
-        if op in (Op.PUT, Op.FLUSH) and self.replica is not None:
-            self.op_counts["put" if op == Op.PUT else "flush"] += 1
+        if op in (Op.PUT, Op.MULTI_PUT, Op.FLUSH) and self.replica is not None:
+            self.op_counts[
+                {Op.PUT: "put", Op.MULTI_PUT: "multi_put", Op.FLUSH: "flush"}[op]
+            ] += 1
             return protocol.encode_not_primary(self.replica.primary_addr)
         if op == Op.PUT:
             self.op_counts["put"] += 1
@@ -382,9 +391,20 @@ class ColeServer:
                 # for its record to be durable (group fsync).
                 await self.wal_syncer.durable(self.batcher.last_put_lsn)
             return protocol.encode_height_response(height)
+        if op == Op.MULTI_PUT:
+            self.op_counts["multi_put"] += 1
+            height = self.batcher.put_batch(args[0])
+            if self.wal_syncer is not None:
+                # One durability wait for the whole batch: its records
+                # share the batch LSN the group fsync must cover.
+                await self.wal_syncer.durable(self.batcher.last_put_lsn)
+            return protocol.encode_height_response(height)
         if op == Op.GET:
             self.op_counts["get"] += 1
             return protocol.encode_value_response(await self._get(args[0]))
+        if op == Op.MULTI_GET:
+            self.op_counts["multi_get"] += 1
+            return protocol.encode_multi_get_response(await self._multi_get(args[0]))
         if op == Op.GET_AT:
             self.op_counts["get_at"] += 1
             addr, blk = args
@@ -494,12 +514,57 @@ class ColeServer:
             self.overlay_hits += 1
             return buffered
         version = self.version
+        # Misses live in the dedicated negative cache — a miss-heavy
+        # workload must not evict the hot positive working set.
+        if self.negative.contains(addr, version):
+            return None
         hit, value = self.cache.get((0, addr), version)
         if hit:
             return value
         value = await self._run(self.engine.get, addr)
-        self.cache.put((0, addr), version, value)
+        if value is None:
+            self.negative.add(addr, version)
+        else:
+            self.cache.put((0, addr), version, value)
         return value
+
+    async def _multi_get(self, addrs: List[bytes]) -> List[Optional[bytes]]:
+        """Answer one MULTI_GET batch: caches on-loop, one engine trip.
+
+        Every key first runs the same overlay -> negative-cache -> read-
+        cache ladder as :meth:`_get`; only the leftovers pay the thread-
+        pool hop, as a single ``engine.get_many`` (one gate hold, one
+        source walk) instead of an engine lookup per key.
+        """
+        version = self.version
+        results: List[Optional[bytes]] = [None] * len(addrs)
+        pending: List[int] = []
+        for index, addr in enumerate(addrs):
+            buffered = (
+                self.batcher.lookup(addr) if self.batcher is not None else MISSING
+            )
+            if buffered is not MISSING:
+                self.overlay_hits += 1
+                results[index] = buffered
+                continue
+            if self.negative.contains(addr, version):
+                continue
+            hit, value = self.cache.get((0, addr), version)
+            if hit:
+                results[index] = value
+                continue
+            pending.append(index)
+        if pending:
+            values = await self._run(
+                self.engine.get_many, [addrs[index] for index in pending]
+            )
+            for index, value in zip(pending, values):
+                results[index] = value
+                if value is None:
+                    self.negative.add(addrs[index], version)
+                else:
+                    self.cache.put((0, addrs[index]), version, value)
+        return results
 
     async def _get_at(self, addr: bytes, blk: int) -> Optional[bytes]:
         buffered = (
@@ -619,6 +684,7 @@ class ColeServer:
             # tear (a hit_rate computed from a hits/misses pair no single
             # instant ever held).
             "cache": self.cache.stats(),
+            "negative_cache": self.negative.stats(),
             "engine": {
                 "puts_total": engine.puts_total,
                 "storage_bytes": storage,
@@ -636,12 +702,14 @@ class ColeServer:
                 "size_flushes": batcher.size_flushes,
                 "timer_flushes": batcher.timer_flushes,
                 "forced_flushes": batcher.forced_flushes,
+                "multi_put_batches": batcher.multi_put_batches,
             }
         engine_stats = getattr(engine, "stats", None)
         if engine_stats is not None:
             stats["io"] = {
                 "page_reads": engine_stats.total_reads,
                 "page_writes": engine_stats.total_writes,
+                "page_cache": engine_stats.cache_summary(),
             }
         if self.wal is not None:
             stats["wal"] = self.wal.stats()

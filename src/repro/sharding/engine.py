@@ -197,6 +197,41 @@ class ShardedCole(StorageBackend):
         """Value of ``addr`` as of block ``blk``."""
         return self._shard_for(addr).get_at(addr, blk)
 
+    def get_many(self, addrs: List[bytes]) -> List[Optional[bytes]]:
+        """Batched get: one routing pass, one batched lookup per shard.
+
+        Like :meth:`get`, rides each touched shard's own gate (a batch
+        of latest-value reads needs no cross-shard instant); shards that
+        own none of the batch are never touched, and multi-shard batches
+        fan out on the commit pool so per-shard source walks overlap.
+        """
+        num_shards = len(self.shards)
+        if num_shards == 1:
+            return self.shards[0].get_many(list(addrs))
+        route = self._route
+        buckets: List[List[int]] = [[] for _ in range(num_shards)]
+        for index, addr in enumerate(addrs):
+            buckets[route(addr)].append(index)
+        touched = [
+            (shard, positions)
+            for shard, positions in zip(self.shards, buckets)
+            if positions
+        ]
+        results: List[Optional[bytes]] = [None] * len(addrs)
+
+        def lookup(job: Tuple[Cole, List[int]]) -> Tuple[List[int], List[Optional[bytes]]]:
+            shard, positions = job
+            return positions, shard.get_many([addrs[i] for i in positions])
+
+        if len(touched) == 1:
+            answers = [lookup(touched[0])]
+        else:
+            answers = self._pool.map(lookup, touched)
+        for positions, values in answers:
+            for position, value in zip(positions, values):
+                results[position] = value
+        return results
+
     def scan(
         self,
         addr_low: bytes,

@@ -59,6 +59,26 @@ def test_loadgen_parser_scan_flags():
     assert args.workload == "E"
 
 
+def test_loadgen_parser_multi_get_flag():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["loadgen", "--multi-get-size", "16"])
+    assert args.multi_get_size == 16
+    assert build_parser().parse_args(["loadgen"]).multi_get_size == 1
+    serve_args = build_parser().parse_args(
+        ["serve", "ws", "--negative-cache-capacity", "0"]
+    )
+    assert serve_args.negative_cache_capacity == 0
+
+
+def test_hot_path_experiments_registered():
+    from repro.cli import _EXPERIMENTS
+
+    assert _EXPERIMENTS["multi-get"][0] == "run_multi_get"
+    assert _EXPERIMENTS["negative-lookup"][0] == "run_negative_lookup"
+    assert _EXPERIMENTS["scan-hotset"][0] == "run_scan_vs_hotset"
+
+
 def test_fig20_experiment_registered_and_runs_tiny():
     from repro.bench.experiments import run_scan_throughput
     from repro.cli import _EXPERIMENTS

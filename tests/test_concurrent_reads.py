@@ -284,3 +284,83 @@ def test_commit_gate_basic_exclusion(num_threads):
         thread.join(timeout=60)
     assert state["violations"] == 0
     assert state["max_readers"] >= 1
+
+
+# =============================================================================
+# batched reads: get_many under concurrent commits
+# =============================================================================
+
+def _mget_reader(engine, writer, reader_id, errors, require_single_snapshot):
+    """Hammers get_many; every batch must come from one committed state."""
+    import random
+
+    rng = random.Random(1000 + reader_id)
+    try:
+        while writer.is_alive():
+            snapshot = writer.published
+            picks = [rng.randrange(NUM_ADDRS) for _ in range(6)]
+            addrs = [addr_of(n) for n in picks]
+            addrs.append(addr_of(NUM_ADDRS + 5))  # never written
+            values = engine.get_many(addrs)
+            assert values[-1] is None
+            if snapshot < 1:
+                continue
+            heights = set()
+            for n, value in zip(picks, values[:-1]):
+                assert value is not None, n
+                blk = _decode_blk(value)
+                assert snapshot <= blk <= BLOCKS, (n, snapshot, blk)
+                assert value == value_at(n, blk), (n, blk)
+                heights.add(blk)
+            if require_single_snapshot:
+                # The whole walk runs under one shared gate hold, so a
+                # commit can never land between two keys of a batch.
+                assert len(heights) == 1, heights
+    except BaseException as exc:  # noqa: BLE001
+        errors.append((reader_id, exc))
+
+
+def _hammer_mget(engine, require_single_snapshot):
+    writer = _Writer(engine)
+    errors = []
+    readers = [
+        threading.Thread(
+            target=_mget_reader,
+            args=(engine, writer, rid, errors, require_single_snapshot),
+            name=f"mget-reader-{rid}",
+        )
+        for rid in range(4)
+    ]
+    writer.start()
+    for reader in readers:
+        reader.start()
+    writer.join(timeout=120)
+    for reader in readers:
+        reader.join(timeout=120)
+    assert writer.error is None, f"writer failed: {writer.error!r}"
+    assert not errors, f"readers failed: {errors[:3]!r}"
+    # Quiesced: batched and point reads agree exactly.
+    engine.wait_for_merges()
+    addrs = [addr_of(n) for n in range(NUM_ADDRS)]
+    assert engine.get_many(addrs) == [engine.get(addr) for addr in addrs]
+
+
+def test_get_many_single_snapshot_under_commit_hammer(tmp_path):
+    engine = Cole(str(tmp_path / "ws"), PARAMS)
+    try:
+        _hammer_mget(engine, require_single_snapshot=True)
+    finally:
+        engine.close()
+
+
+def test_get_many_exact_on_sharded_engine_under_commit_hammer(tmp_path):
+    """Sharded batches ride per-shard gates: every value is exact, but
+    atomicity is per shard, so cross-shard heights may differ mid-commit
+    (same contract as issuing the gets individually)."""
+    engine = ShardedCole(
+        str(tmp_path / "ws"), ShardParams(cole=PARAMS, num_shards=2)
+    )
+    try:
+        _hammer_mget(engine, require_single_snapshot=False)
+    finally:
+        engine.close()
