@@ -83,6 +83,23 @@ def compare(current, baseline, tolerance):
             yield label, value, floor, value >= floor
 
 
+#: Core observability counters that must be non-zero after any served
+#: smoke run.  Not throughput-gated: a zero means the instrumentation
+#: itself died (a counter unplugged from its source), which no
+#: tolerance should excuse.
+LIVENESS_COUNTERS = ("commits", "page_reads", "cache_lookups")
+
+
+def check_counters(current):
+    """Yield (label, value, ok) for the liveness counters, when present."""
+    counters = current.get("counters")
+    if not isinstance(counters, dict):
+        return
+    for name in LIVENESS_COUNTERS:
+        value = counters.get(name)
+        yield f"counters.{name}", value, isinstance(value, int) and value > 0
+
+
 def update_baseline(current, path, headroom=0.5):
     """Write the baseline: ``current * headroom`` for throughput
     sections, the prescribed fixed floor for ratio sections."""
@@ -135,6 +152,12 @@ def main(argv=None) -> int:
         shown = f"{value:12.1f}" if value is not None else "     missing"
         verdict = "ok" if ok else "REGRESSION"
         print(f"{label:45s} {shown}  (floor {floor:10.1f})  {verdict}")
+        if not ok:
+            failures += 1
+    for label, value, ok in check_counters(current):
+        shown = f"{value:12d}" if isinstance(value, int) else "     missing"
+        verdict = "ok" if ok else "DEAD COUNTER"
+        print(f"{label:45s} {shown}  (floor          1)  {verdict}")
         if not ok:
             failures += 1
     if failures:

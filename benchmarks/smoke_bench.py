@@ -31,6 +31,51 @@ from repro.bench.experiments import (
 from repro.bench.report import format_table
 
 
+def collect_counters() -> dict:
+    """Core observability counters from a short served run.
+
+    A served load of this size must register commits, page reads, and
+    cache lookups in STATS; ``check_regression.py`` asserts they are
+    non-zero, so dead instrumentation (a counter that silently stopped
+    counting) turns CI red even when throughput looks fine.
+    """
+    import asyncio
+    import hashlib
+    import tempfile
+
+    from repro.common.params import ColeParams
+    from repro.core import Cole
+    from repro.server import ServerClient, ServerConfig, ServerThread
+
+    def addr_of(n: int) -> bytes:
+        return hashlib.sha256(f"counter-{n}".encode()).digest()
+
+    async def scenario(host, port):
+        async with ServerClient(host, port) as client:
+            for n in range(128):
+                await client.put(addr_of(n), f"v{n}".encode().ljust(40, b".")[:40])
+            await client.flush()
+            for n in range(32):
+                await client.get(addr_of(n))
+                await client.get(addr_of(n))
+            return await client.stats()
+
+    with tempfile.TemporaryDirectory(prefix="smoke-counters-") as root:
+        engine = Cole(f"{root}/ws", ColeParams(mem_capacity=64, async_merge=True))
+        try:
+            with ServerThread(
+                engine, config=ServerConfig(batch_max_puts=32, batch_max_delay=0.005)
+            ) as thread:
+                stats = asyncio.run(scenario(*thread.start()))
+        finally:
+            engine.close()
+    return {
+        "commits": stats["batcher"]["commits"],
+        "page_reads": stats["io"]["page_reads"],
+        "cache_lookups": stats["cache"]["lookups"],
+    }
+
+
 def main(argv) -> int:
     out_path = argv[1] if len(argv) > 1 else "smoke-bench.json"
     sharding = run_sharding_scalability(shard_counts=(1, 2), blocks=40, repeats=1)
@@ -71,6 +116,9 @@ def main(argv) -> int:
     )
     negative_lookup = run_negative_lookup(absent_keys=48, passes=20, num_keys=512)
     scan_vs_hotset = run_scan_vs_hotset(num_keys=512, blocks=24)
+    counters = collect_counters()
+    print("\n-- counters --")
+    print(format_table(list(counters), [[counters[k] for k in counters]]))
     for name, rows in (
         ("sharding", sharding),
         ("service", service),
@@ -98,6 +146,7 @@ def main(argv) -> int:
                 "multi_get": multi_get,
                 "negative_lookup": negative_lookup,
                 "scan_vs_hotset": scan_vs_hotset,
+                "counters": counters,
             },
             handle,
             indent=2,

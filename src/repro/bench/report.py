@@ -57,13 +57,19 @@ def format_rate(count: float, seconds: float) -> str:
     return f"{rate:.0f}/s"
 
 
-def percentile(values: Sequence[float], fraction: float) -> float:
-    """Value at ``fraction`` (0..1) of the sorted sample; 0.0 when empty.
+def percentile(values, fraction: float) -> float:
+    """Value at ``fraction`` (0..1) of the sample; 0.0 when empty.
 
     The one percentile implementation: ``ExecutionMetrics`` and the load
     generator both report through it, so their numbers agree by
-    construction.
+    construction.  Accepts either a raw sequence (sorted per call) or
+    anything with its own ``percentile`` method — notably
+    :class:`repro.obs.LatencyHistogram`, which answers from its buckets
+    without keeping (or re-sorting) the samples.
     """
+    own = getattr(values, "percentile", None)
+    if own is not None:
+        return own(fraction)
     if not values:
         return 0.0
     ordered = sorted(values)

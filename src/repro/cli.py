@@ -396,6 +396,23 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     return 1 if report.errors else 0
 
 
+def cmd_query(args: argparse.Namespace) -> int:
+    """The ``repro query`` inspection group (click-based).
+
+    click is imported lazily so every other command works in
+    environments without it (e.g. minimal CI runners).
+    """
+    try:
+        from repro.obs.query import run_query
+    except ImportError:
+        print(
+            "repro query needs the 'click' package, which is not installed",
+            file=sys.stderr,
+        )
+        return 2
+    return run_query(args.rest)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -546,11 +563,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the report as JSON"
     )
     loadgen.set_defaults(func=cmd_loadgen)
+
+    # The query group is click-based and parses its own arguments:
+    # everything after "query" passes through untouched (add_help=False
+    # so "repro query --help" reaches click's help, not argparse's).
+    query = sub.add_parser(
+        "query",
+        help="inspect a workspace or live server (levels/segments/bloom/"
+        "wal/replication/caches/latency/audit)",
+        add_help=False,
+    )
+    query.add_argument("rest", nargs=argparse.REMAINDER)
+    query.set_defaults(func=cmd_query)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point."""
+    if argv is None:
+        argv = sys.argv[1:]
+    # "query" owns its own argument parsing (click); hand everything
+    # after it over untouched.  argparse's REMAINDER would reject a
+    # leading option token ("query -w ..."), so dispatch before it.
+    if argv and argv[0] == "query":
+        return cmd_query(argparse.Namespace(rest=list(argv[1:])))
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

@@ -18,6 +18,7 @@ from __future__ import annotations
 import heapq
 import queue
 import threading
+import time
 from concurrent.futures import Future
 from typing import Callable, Iterable, Iterator, List, Optional, Tuple, TYPE_CHECKING
 
@@ -110,6 +111,10 @@ class MergeScheduler:
         self._queue: "queue.Queue[Optional[Callable[[], None]]]" = queue.Queue()
         self._idle = 0  # parked workers not yet reserved by a dispatch
         self._workers: List[threading.Thread] = []
+        #: Optional :class:`~repro.obs.MetricsRegistry`: when a server
+        #: attaches one, every build reports its duration and the bytes
+        #: of the run it wrote (merge write amplification, observable).
+        self.metrics = None
 
     def _dispatch(self, task: Callable[[], None]) -> None:
         with self._lock:
@@ -163,10 +168,28 @@ class MergeScheduler:
         done = Future()  # type: Future
 
         def task() -> None:
+            started = time.perf_counter()
             try:
                 pending.output = build()
             except BaseException as exc:  # surfaced at the next checkpoint
                 pending.error = exc
+            else:
+                metrics = self.metrics
+                if metrics is not None:
+                    metrics.histogram(
+                        "repro_merge_seconds",
+                        help="Run build duration by kind",
+                        kind=kind,
+                    ).observe(time.perf_counter() - started)
+                    if pending.output is not None:
+                        try:
+                            written = pending.output.storage_bytes()
+                        except OSError:
+                            written = 0
+                        metrics.counter(
+                            "repro_merge_bytes_rewritten_total",
+                            help="Bytes written by merge/flush builds",
+                        ).inc(written)
             done.set_result(None)
 
         pending.future = done

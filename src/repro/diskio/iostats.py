@@ -11,7 +11,7 @@ from __future__ import annotations
 import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterator
+from typing import Dict, Iterator, List, Tuple
 
 IOCategory = str
 
@@ -140,3 +140,16 @@ class IOStats:
         with self._lock:
             seen = set(self.page_reads) | set(self.page_writes)
         return iter(sorted(seen))
+
+    def per_category(self) -> List[Tuple[IOCategory, int, int]]:
+        """``(category, reads, writes)`` rows from one locked snapshot.
+
+        The metrics-exposition export: one consistent pass instead of a
+        read-lock per category, sorted so scrapes are stable.
+        """
+        with self._lock:
+            seen = set(self.page_reads) | set(self.page_writes)
+            return [
+                (cat, self.page_reads.get(cat, 0), self.page_writes.get(cat, 0))
+                for cat in sorted(seen)
+            ]

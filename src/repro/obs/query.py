@@ -1,0 +1,752 @@
+"""``repro query`` — the operator inspection CLI.
+
+A click subcommand group answering questions against **either** a cold
+workspace directory (``--workspace``) or a live server (``--server
+HOST:PORT``), in ``table`` / ``csv`` / ``json`` formats::
+
+    repro query -w /data/cole levels
+    repro query -w /data/cole segments -f json
+    repro query -s 127.0.0.1:7407 latency
+    repro query -s 127.0.0.1:7407 audit 00ff 01ff --limit 16
+
+File-backed subcommands (``levels``, ``segments``, ``bloom``, ``wal``)
+read the immutable on-disk artifacts directly — manifests, run files,
+WAL segments — which is safe against a concurrently running server
+because committed runs never mutate and the WAL record scanner stops
+cleanly at a torn tail.  Against ``--server`` they resolve the
+workspace path from the server's STATS.  Control-plane subcommands
+(``replication``, ``caches``, ``latency``) read live STATS / METRICS;
+against a cold workspace they degrade to an empty answer with a note
+(process state does not outlive the process).
+
+``click`` is imported at module load, but :mod:`repro.cli` only imports
+*this module* inside the ``query`` command — environments without click
+keep every other CLI command working.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import csv
+import functools
+import io
+import json
+import os
+import random
+import sys
+from typing import List, Optional, Tuple
+
+import click
+
+from repro.bench.report import format_table
+from repro.common.errors import StorageError
+from repro.obs.registry import parse_exposition, quantile_from_buckets
+
+#: Random absent-address probes for the measured bloom FPR.
+DEFAULT_BLOOM_PROBES = 512
+
+
+# =============================================================================
+# target resolution (workspace path vs live server)
+# =============================================================================
+
+class QueryTarget:
+    """Where answers come from: a directory, a server, or both.
+
+    STATS / METRICS are fetched once per invocation and cached — every
+    subcommand sees one consistent snapshot.
+    """
+
+    def __init__(
+        self, workspace: Optional[str], server: Optional[Tuple[str, int]]
+    ) -> None:
+        self.workspace = workspace
+        self.server = server
+        self._stats: Optional[dict] = None
+        self._metrics_text: Optional[str] = None
+
+    @property
+    def live(self) -> bool:
+        return self.server is not None
+
+    def call(self, fn):
+        """Run ``fn(client)`` (async) against the live server."""
+        host, port = self.server
+
+        async def go():
+            from repro.server.client import ServerClient
+
+            async with ServerClient(host, port) as client:
+                return await fn(client)
+
+        return asyncio.run(go())
+
+    def stats(self) -> dict:
+        if self._stats is None:
+            self._stats = self.call(lambda client: client.stats())
+        return self._stats
+
+    def metrics_text(self) -> str:
+        if self._metrics_text is None:
+            self._metrics_text = self.call(lambda client: client.metrics())
+        return self._metrics_text
+
+    def resolve_workspace(self) -> str:
+        """The on-disk workspace: given directly, or asked of the server."""
+        if self.workspace is not None:
+            return self.workspace
+        path = (self.stats().get("engine") or {}).get("workspace")
+        if not path:
+            raise click.ClickException(
+                "the server did not report a workspace path in STATS"
+            )
+        return path
+
+
+def _parse_server(value: str) -> Tuple[str, int]:
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise click.BadParameter(f"expected HOST:PORT, got {value!r}")
+    return host, int(port)
+
+
+# =============================================================================
+# shared decorators and rendering
+# =============================================================================
+
+def error_handler(fn):
+    """Convert storage/IO failures into clean CLI errors (no tracebacks)."""
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        try:
+            return fn(*args, **kwargs)
+        except click.ClickException:
+            raise
+        except (StorageError, OSError, ValueError) as exc:
+            raise click.ClickException(f"{type(exc).__name__}: {exc}")
+
+    return wrapper
+
+
+def format_option(fn):
+    return click.option(
+        "--format",
+        "-f",
+        "fmt",
+        type=click.Choice(["table", "csv", "json"]),
+        default="table",
+        show_default=True,
+        help="output format",
+    )(fn)
+
+
+def format_output(columns: List[str], rows: List[dict], fmt: str) -> str:
+    """Render ``rows`` (list of dicts) in the requested format."""
+    if fmt == "json":
+        return json.dumps(rows, indent=2)
+    if fmt == "csv":
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(columns)
+        for row in rows:
+            writer.writerow([row.get(column, "") for column in columns])
+        return buffer.getvalue().rstrip("\n")
+    return format_table(
+        columns, [[row.get(column, "") for column in columns] for row in rows]
+    )
+
+
+def emit(columns: List[str], rows: List[dict], fmt: str, note: str = "") -> None:
+    if note:
+        click.echo(note, err=True)
+    click.echo(format_output(columns, rows, fmt))
+
+
+# =============================================================================
+# collectors (plain functions — the tests drive these directly too)
+# =============================================================================
+
+def shard_roots(workspace: str) -> List[Tuple[str, str]]:
+    """``(shard_label, directory)`` pairs covering the workspace.
+
+    A sharded workspace is a directory of ``shard-NN`` subdirectories
+    (no root manifest); a single-engine workspace is its own root.
+    """
+    from repro.core.manifest import MANIFEST_NAME
+
+    if os.path.isdir(workspace):
+        shard_dirs = sorted(
+            name
+            for name in os.listdir(workspace)
+            if name.startswith("shard-")
+            and os.path.isdir(os.path.join(workspace, name))
+        )
+        if shard_dirs and not os.path.isfile(
+            os.path.join(workspace, MANIFEST_NAME)
+        ):
+            return [(name, os.path.join(workspace, name)) for name in shard_dirs]
+    return [("-", workspace)]
+
+
+def committed_runs(workspace: str) -> List[Tuple[str, str, int, str, object]]:
+    """Every manifest-committed run: ``(shard, dir, level, group, record)``."""
+    from repro.core.manifest import load_manifest
+
+    out = []
+    for shard, directory in shard_roots(workspace):
+        manifest = load_manifest(directory)
+        for level, groups in sorted(manifest.levels.items()):
+            for role, records in sorted(groups.items()):
+                for record in records:
+                    out.append((shard, directory, level, role, record))
+    return out
+
+
+def collect_levels(workspace: str) -> List[dict]:
+    """Runs, entry counts, and byte sizes per level per shard."""
+    from repro.core.run import RUN_SUFFIXES
+
+    rows = []
+    for shard, directory, level, role, record in committed_runs(workspace):
+        size = 0
+        for suffix in RUN_SUFFIXES:
+            path = os.path.join(directory, record.name + suffix)
+            if os.path.exists(path):
+                size += os.path.getsize(path)
+        rows.append(
+            {
+                "shard": shard,
+                "level": level,
+                "group": role,
+                "run": record.name,
+                "entries": record.num_entries,
+                "bytes": size,
+            }
+        )
+    return rows
+
+
+def collect_segments(workspace: str, page_size: int = 4096) -> List[dict]:
+    """Learned-index (PLM) statistics per committed run.
+
+    The index file is self-describing (its metadata page records the
+    layer table and ``models_per_page``), so a cold read needs only the
+    page size.  ``seek_pages`` is the predicted point-lookup IO: one
+    page per model layer plus one value page — the ``Cmodel`` bound.
+    """
+    from repro.core.indexfile import IndexFile
+    from repro.common.params import SystemParams
+    from repro.diskio.workspace import Workspace
+
+    rows = []
+    params = SystemParams(page_size=page_size)
+    for shard, directory, level, _role, record in committed_runs(workspace):
+        ws = Workspace(directory, page_size)
+        try:
+            index = IndexFile(
+                ws.open_file(f"{record.name}.idx", category="index", create=False),
+                params,
+            )
+            segments = index.num_bottom_models
+            epsilon = index.models_per_page // 2
+            rows.append(
+                {
+                    "shard": shard,
+                    "level": level,
+                    "run": record.name,
+                    "entries": record.num_entries,
+                    "segments": segments,
+                    "layers": index.num_layers,
+                    "models_per_page": index.models_per_page,
+                    "epsilon": epsilon,
+                    "entries_per_segment": (
+                        round(record.num_entries / segments, 1) if segments else 0.0
+                    ),
+                    "seek_pages": index.num_layers + 1,
+                }
+            )
+        finally:
+            ws.close()
+    return rows
+
+
+def collect_bloom(
+    workspace: str, probes: int = DEFAULT_BLOOM_PROBES, seed: int = 0xB100
+) -> List[dict]:
+    """Bloom-filter geometry and false-positive rates per committed run.
+
+    ``fpr_measured`` probes the filter with ``probes`` seeded random
+    32-byte addresses (absent with overwhelming probability) — the
+    empirical check on the theoretical rate.
+    """
+    from repro.bloomfilter import BloomFilter
+
+    rng = random.Random(seed)
+    probe_keys = [rng.getrandbits(256).to_bytes(32, "big") for _ in range(probes)]
+    rows = []
+    for shard, directory, level, _role, record in committed_runs(workspace):
+        path = os.path.join(directory, f"{record.name}.blm")
+        if not os.path.exists(path):
+            continue
+        with open(path, "rb") as handle:
+            bloom = BloomFilter.from_bytes(handle.read())
+        hits = sum(1 for key in probe_keys if bloom.may_contain(key))
+        rows.append(
+            {
+                "shard": shard,
+                "level": level,
+                "run": record.name,
+                "keys": bloom.count,
+                "bits": bloom.num_bits,
+                "hashes": bloom.num_hashes,
+                "size_bytes": bloom.size_bytes(),
+                "fpr_theory": round(bloom.false_positive_rate(), 6),
+                "fpr_measured": round(hits / probes, 6) if probes else 0.0,
+            }
+        )
+    return rows
+
+
+def collect_wal(wal_dir: str) -> List[dict]:
+    """Per-segment WAL state read directly from disk.
+
+    Safe against a live writer: the record scanner stops at the first
+    torn record, which for the active tail just means "scanned up to
+    the bytes durable at read time".  The highest-numbered segment of
+    each shard chain is the active one.
+    """
+    from repro.wal.record import RecordType, scan_records
+
+    rows = []
+    if not os.path.isdir(wal_dir):
+        return rows
+    shard_dirs = sorted(
+        name
+        for name in os.listdir(wal_dir)
+        if name.startswith("shard-") and os.path.isdir(os.path.join(wal_dir, name))
+    )
+    for shard in shard_dirs:
+        directory = os.path.join(wal_dir, shard)
+        segments = sorted(
+            name
+            for name in os.listdir(directory)
+            if name.startswith("seg-") and name.endswith(".wal")
+        )
+        for position, segment in enumerate(segments):
+            path = os.path.join(directory, segment)
+            with open(path, "rb") as handle:
+                data = handle.read()
+            result = scan_records(data)
+            puts = sum(
+                1 for record in result.records if record.type == RecordType.PUTS
+            )
+            commits = sum(
+                1 for record in result.records if record.type == RecordType.COMMIT
+            )
+            max_height = max(
+                (record.height for record in result.records), default=0
+            )
+            rows.append(
+                {
+                    "shard": shard,
+                    "segment": segment,
+                    "state": "active" if position == len(segments) - 1 else "sealed",
+                    "bytes": len(data),
+                    "records": len(result.records),
+                    "puts": puts,
+                    "commits": commits,
+                    "max_height": max_height,
+                    "torn": bool(result.torn),
+                }
+            )
+    return rows
+
+
+def collect_caches(stats: dict) -> List[dict]:
+    """One row per cache (read / negative / page) from a STATS snapshot."""
+    rows = []
+    for label in ("cache", "negative_cache"):
+        snapshot = stats.get(label)
+        if not snapshot:
+            continue
+        rows.append(
+            {
+                "cache": "read" if label == "cache" else "negative",
+                "hits": snapshot["hits"],
+                "misses": snapshot["misses"],
+                "lookups": snapshot["lookups"],
+                "hit_rate": round(snapshot["hit_rate"], 4),
+                "entries": snapshot["entries"],
+                "capacity": snapshot["capacity"],
+            }
+        )
+    page = (stats.get("io") or {}).get("page_cache")
+    if page:
+        rows.append(
+            {
+                "cache": "page",
+                "hits": page["hits"],
+                "misses": page["misses"],
+                "lookups": page["hits"] + page["misses"],
+                "hit_rate": round(page["hit_rate"], 4),
+                "entries": page.get("promotions", ""),
+                "capacity": "",
+            }
+        )
+    return rows
+
+
+def collect_latency(metrics_text: str) -> List[dict]:
+    """Histogram digests parsed back out of the METRICS exposition.
+
+    One row per histogram series: the ``_count`` / ``_sum`` samples give
+    count and mean, the cumulative ``_bucket`` samples give p50/p99 —
+    exactly what any scraper would compute.
+    """
+    series = parse_exposition(metrics_text)
+    rows = []
+    for name in sorted(series):
+        if not name.endswith("_count"):
+            continue
+        base = name[: -len("_count")]
+        buckets = series.get(base + "_bucket")
+        if not buckets:
+            continue  # a counter family that happens to end in _count
+        sums = {
+            tuple(sorted(labels.items())): value
+            for labels, value in series.get(base + "_sum", [])
+        }
+        for labels, count in series[name]:
+            key = tuple(sorted(labels.items()))
+            mine = [
+                (bucket_labels, value)
+                for bucket_labels, value in buckets
+                if tuple(
+                    sorted(
+                        (k, v) for k, v in bucket_labels.items() if k != "le"
+                    )
+                )
+                == key
+            ]
+            total = sums.get(key, 0.0)
+            rows.append(
+                {
+                    "metric": base,
+                    "labels": ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+                    or "-",
+                    "count": int(count),
+                    "avg_s": round(total / count, 6) if count else 0.0,
+                    "p50_s": round(quantile_from_buckets(mine, 0.5) or 0.0, 6),
+                    "p99_s": round(quantile_from_buckets(mine, 0.99) or 0.0, 6),
+                }
+            )
+    return rows
+
+
+def flatten(mapping: dict) -> List[dict]:
+    """A nested dict as sorted ``metric`` / ``value`` rows."""
+    rows = []
+
+    def walk(prefix: str, value) -> None:
+        if isinstance(value, dict):
+            for key in sorted(value):
+                walk(f"{prefix}.{key}" if prefix else str(key), value[key])
+        else:
+            rows.append({"metric": prefix, "value": value})
+
+    walk("", mapping)
+    return rows
+
+
+def collect_audit(
+    target: QueryTarget, addr_low: bytes, addr_high: bytes, limit: int
+) -> List[dict]:
+    """Provenance walk over the live addresses in ``[addr_low, addr_high]``.
+
+    Scans the range for up to ``limit`` live addresses, then asks the
+    full version history of each (block 0 .. the committed height).
+    Live mode drives SCAN + PROV over the wire; cold mode opens the
+    engine read-style under the workspace flock (committed state only —
+    an unreplayed WAL tail is the server's to recover, not ours).
+    """
+    if target.live:
+        async def run(client):
+            info = await client.root()
+            triples = await client.scan(addr_low, addr_high, limit=limit)
+            out = []
+            for addr in dict.fromkeys(addr for addr, _blk, _value in triples):
+                result, _root = await client.prov(addr, 0, max(info.height, 0))
+                out.append((addr, result))
+            return out
+
+        histories = target.call(run)
+        return [_audit_row(addr, result) for addr, result in histories]
+    from repro.cli import _detect_shards, _lock_workspace, _open_engine
+
+    workspace = target.resolve_workspace()
+    lock = _lock_workspace(workspace, "repro query audit")
+    engine = _open_engine(workspace, _detect_shards(workspace))
+    try:
+        height = max(engine.current_blk, engine.checkpoint_blk, 0)
+        triples = engine.scan(addr_low, addr_high, limit=limit)
+        rows = []
+        for addr in dict.fromkeys(addr for addr, _blk, _value in triples):
+            result, _root = engine.prov_query_anchored(addr, 0, height)
+            rows.append(_audit_row(addr, result))
+        return rows
+    finally:
+        engine.close()
+        lock.close()
+
+
+def _audit_row(addr: bytes, result) -> dict:
+    versions = list(result.versions)
+    return {
+        "addr": addr.hex(),
+        "versions": len(versions),
+        "first_blk": versions[0][0] if versions else "",
+        "last_blk": versions[-1][0] if versions else "",
+        "latest_bytes": len(versions[-1][1]) if versions else 0,
+        "boundary": result.boundary_version is not None,
+    }
+
+
+# =============================================================================
+# the click group
+# =============================================================================
+
+@click.group(name="query")
+@click.option(
+    "--workspace",
+    "-w",
+    type=click.Path(),
+    default=None,
+    help="cold workspace directory to inspect",
+)
+@click.option(
+    "--server",
+    "-s",
+    "server_addr",
+    default=None,
+    metavar="HOST:PORT",
+    help="live server to inspect",
+)
+@click.pass_context
+def query_group(ctx, workspace, server_addr):
+    """Inspect a COLE deployment: levels, indexes, blooms, WAL,
+    replication, caches, latencies, and provenance audits.
+
+    Give exactly one of --workspace (cold, file-backed) or --server
+    (live).  Global options come before the subcommand:
+    ``repro query -s 127.0.0.1:7407 latency -f json``.
+    """
+    if (workspace is None) == (server_addr is None):
+        raise click.UsageError(
+            "give exactly one of --workspace/-w or --server/-s"
+        )
+    server = _parse_server(server_addr) if server_addr is not None else None
+    ctx.obj = QueryTarget(workspace, server)
+
+
+@query_group.command()
+@format_option
+@click.pass_obj
+@error_handler
+def levels(target: QueryTarget, fmt: str):
+    """Runs and sizes per level per shard."""
+    rows = collect_levels(target.resolve_workspace())
+    emit(["shard", "level", "group", "run", "entries", "bytes"], rows, fmt)
+
+
+@query_group.command()
+@format_option
+@click.pass_obj
+@error_handler
+def segments(target: QueryTarget, fmt: str):
+    """Learned-index segment counts, epsilon, predicted seek cost."""
+    rows = collect_segments(target.resolve_workspace())
+    emit(
+        [
+            "shard", "level", "run", "entries", "segments", "layers",
+            "models_per_page", "epsilon", "entries_per_segment", "seek_pages",
+        ],
+        rows,
+        fmt,
+    )
+
+
+@query_group.command()
+@click.option(
+    "--probes",
+    type=int,
+    default=DEFAULT_BLOOM_PROBES,
+    show_default=True,
+    help="random absent-key probes for the measured FPR",
+)
+@format_option
+@click.pass_obj
+@error_handler
+def bloom(target: QueryTarget, probes: int, fmt: str):
+    """Bloom bits, hash counts, theoretical and measured FPR."""
+    rows = collect_bloom(target.resolve_workspace(), probes=probes)
+    emit(
+        [
+            "shard", "level", "run", "keys", "bits", "hashes",
+            "size_bytes", "fpr_theory", "fpr_measured",
+        ],
+        rows,
+        fmt,
+    )
+
+
+@query_group.command()
+@format_option
+@click.pass_obj
+@error_handler
+def wal(target: QueryTarget, fmt: str):
+    """WAL segments: sealed/active state, record counts, torn tails."""
+    if target.live:
+        wal_stats = target.stats().get("wal")
+        wal_dir = wal_stats.get("directory") if wal_stats else None
+        note = "" if wal_dir else "server runs without a WAL"
+    else:
+        from repro.cli import WAL_DIRNAME
+
+        wal_dir = os.path.join(target.resolve_workspace(), WAL_DIRNAME)
+        note = "" if os.path.isdir(wal_dir) else f"no WAL directory at {wal_dir}"
+    rows = collect_wal(wal_dir) if wal_dir else []
+    emit(
+        [
+            "shard", "segment", "state", "bytes", "records", "puts",
+            "commits", "max_height", "torn",
+        ],
+        rows,
+        fmt,
+        note=note,
+    )
+
+
+@query_group.command()
+@format_option
+@click.pass_obj
+@error_handler
+def replication(target: QueryTarget, fmt: str):
+    """Replication role, lag, and subscriber state."""
+    if target.live:
+        section = target.stats().get("replication") or {"role": "standalone"}
+        note = ""
+    else:
+        section = {"role": "offline"}
+        note = "replication state is process state; inspect a live server"
+    emit(["metric", "value"], flatten(section), fmt, note=note)
+
+
+@query_group.command()
+@format_option
+@click.pass_obj
+@error_handler
+def caches(target: QueryTarget, fmt: str):
+    """Read / negative / page cache hit rates and occupancy."""
+    if target.live:
+        rows = collect_caches(target.stats())
+        note = ""
+    else:
+        rows = []
+        note = "cache state is process state; inspect a live server"
+    emit(
+        ["cache", "hits", "misses", "lookups", "hit_rate", "entries", "capacity"],
+        rows,
+        fmt,
+        note=note,
+    )
+
+
+@query_group.command()
+@format_option
+@click.pass_obj
+@error_handler
+def latency(target: QueryTarget, fmt: str):
+    """Per-op latency histograms (parsed from METRICS exposition)."""
+    if target.live:
+        rows = collect_latency(target.metrics_text())
+        note = ""
+    else:
+        rows = []
+        note = "latency histograms are process state; inspect a live server"
+    emit(
+        ["metric", "labels", "count", "avg_s", "p50_s", "p99_s"],
+        rows,
+        fmt,
+        note=note,
+    )
+
+
+@query_group.command()
+@click.argument("addr_low")
+@click.argument("addr_high")
+@click.option(
+    "--limit",
+    type=int,
+    default=32,
+    show_default=True,
+    help="max live addresses audited in the range",
+)
+@click.option(
+    "--addr-size",
+    type=int,
+    default=32,
+    show_default=True,
+    help="address width in bytes (short hex args are padded to this)",
+)
+@format_option
+@click.pass_obj
+@error_handler
+def audit(
+    target: QueryTarget,
+    addr_low: str,
+    addr_high: str,
+    limit: int,
+    addr_size: int,
+    fmt: str,
+):
+    """Provenance walk over ADDR_LOW..ADDR_HIGH (hex; prefixes allowed).
+
+    For each live address in the range (up to --limit): its version
+    count and first/last change heights, proven against the committed
+    state root.
+    """
+    low = bytes.fromhex(addr_low)
+    high = bytes.fromhex(addr_high)
+    if len(low) > addr_size or len(high) > addr_size:
+        raise click.BadParameter(f"addresses are at most {addr_size} bytes")
+    low = low + b"\x00" * (addr_size - len(low))
+    high = high + b"\xff" * (addr_size - len(high))
+    rows = collect_audit(target, low, high, limit)
+    emit(
+        ["addr", "versions", "first_blk", "last_blk", "latest_bytes", "boundary"],
+        rows,
+        fmt,
+    )
+
+
+def run_query(argv: List[str]) -> int:
+    """Entry point used by ``repro.cli``: run the group, return an exit
+    code instead of raising ``SystemExit`` (testable, embeddable)."""
+    try:
+        result = query_group.main(
+            args=list(argv), prog_name="repro query", standalone_mode=False
+        )
+    except click.exceptions.Exit as exc:
+        return exc.exit_code
+    except click.exceptions.Abort:
+        click.echo("aborted", err=True)
+        return 130
+    except click.ClickException as exc:
+        exc.show()
+        return exc.exit_code
+    return int(result) if isinstance(result, int) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(run_query(sys.argv[1:]))

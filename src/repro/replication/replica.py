@@ -30,6 +30,7 @@ Failure handling:
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import StorageError
@@ -174,7 +175,14 @@ class ReplicaApplier:
                 self._fail_diverged(record.height, record.root, self.last_root)
             return
         items = pending.pop(record.height, [])
+        apply_started = time.perf_counter()
         root = await self.server._run(self._apply, record.height, items)
+        metrics = getattr(self.server, "metrics", None)
+        if metrics is not None:
+            metrics.histogram(
+                "repro_replica_apply_seconds",
+                help="Primary batch apply latency on the replica",
+            ).observe(time.perf_counter() - apply_started)
         if bytes(record.root) != bytes(root):
             # Verify before any bookkeeping advances: a diverged block
             # must not become the reported applied height/root or bump

@@ -47,6 +47,7 @@ second overlay generation.
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Awaitable, Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import StorageError
@@ -69,6 +70,7 @@ class WriteBatcher:
         on_commit: Optional[Callable[[int, Digest, int], None]] = None,
         wal=None,
         hub=None,
+        metrics=None,
     ) -> None:
         """``run_in_executor(fn, *args)`` awaits ``fn`` off-loop;
         ``on_commit(height, root, batch_size)`` fires after each commit
@@ -76,7 +78,9 @@ class WriteBatcher:
         :class:`~repro.wal.WriteAheadLog` every put is appended to;
         ``hub`` is an optional :class:`~repro.replication.ReplicationHub`
         each committed batch is published to once its WAL records are
-        durable (requires ``wal``)."""
+        durable (requires ``wal``); ``metrics`` is an optional
+        :class:`~repro.obs.MetricsRegistry` recording flush latency and
+        the batch-size distribution."""
         self.engine = engine
         self.max_batch = max_batch
         self.max_delay = max_delay
@@ -106,6 +110,27 @@ class WriteBatcher:
         self.forced_flushes = 0
         self.last_root: Optional[Digest] = None
         self.last_height = max(engine.current_blk, engine.checkpoint_blk)
+        # Latency/size distributions (metric objects cached here so the
+        # flush path never touches the registry dict).
+        self._flush_hist = None
+        self._batch_size_hist = None
+        if metrics is not None:
+            self._flush_hist = metrics.histogram(
+                "repro_commit_flush_seconds",
+                help="Group-commit flush latency (engine block commit)",
+            )
+            self._batch_size_hist = metrics.histogram(
+                "repro_commit_batch_size",
+                help="Puts per group-commit batch",
+                lo=1.0,
+                growth=2.0,
+                buckets=24,
+            )
+
+    @property
+    def next_height(self) -> int:
+        """Height the open (active) batch will commit at."""
+        return self._next_height
 
     # -- write side (event loop only) -----------------------------------------
 
@@ -233,6 +258,7 @@ class WriteBatcher:
             height = self._next_height
             self._flushing_height = height
             self._next_height = height + 1
+            flush_started = time.perf_counter()
             try:
                 root = await self._run(self._commit, height, items)
             except BaseException:
@@ -242,6 +268,9 @@ class WriteBatcher:
                 self._flushing_overlay = {}
                 self._flushing_height = -1
                 raise
+            if self._flush_hist is not None:
+                self._flush_hist.observe(time.perf_counter() - flush_started)
+                self._batch_size_hist.observe(len(items))
             self.commits += 1
             self.batched_puts += len(items)
             self.last_root = root

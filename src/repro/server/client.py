@@ -262,6 +262,11 @@ class ServerClient:
         body = await self._conn().request(protocol.encode_simple(Op.STATS))
         return json.loads(protocol.decode_blob_response(body))
 
+    async def metrics(self) -> str:
+        """The server's Prometheus-style metrics text exposition."""
+        body = await self._conn().request(protocol.encode_simple(Op.METRICS))
+        return protocol.decode_blob_response(body).decode("utf-8")
+
     async def flush(self) -> RootInfo:
         """Force a group commit; returns the new state anchor."""
         body = await self._conn().request(protocol.encode_simple(Op.FLUSH))

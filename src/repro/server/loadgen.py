@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.common.hashing import hash_bytes
+from repro.obs import LatencyHistogram
 from repro.server.client import ServerClient
 from repro.server.protocol import NotPrimaryError
 from repro.workloads.ycsb import YCSBGenerator, ZipfGenerator
@@ -233,14 +234,18 @@ class LoadReport:
     #: first few distinct error messages, verbatim.
     error_samples: List[str] = field(default_factory=list)
     elapsed_s: float = 0.0
-    latencies: List[float] = field(default_factory=list)  # per-op seconds
-    scan_latencies: List[float] = field(default_factory=list)  # scans only
-    mget_latencies: List[float] = field(default_factory=list)  # mget batches
+    # Latency distributions: the shared histogram type instead of raw
+    # sample lists — O(1) per record, no per-report re-sorting, and the
+    # same buckets the server's own metrics use.  ``len()`` / truthiness
+    # still behave like the lists they replaced.
+    latencies: LatencyHistogram = field(default_factory=LatencyHistogram)
+    scan_latencies: LatencyHistogram = field(default_factory=LatencyHistogram)
+    mget_latencies: LatencyHistogram = field(default_factory=LatencyHistogram)
     server_stats: dict = field(default_factory=dict)
 
     def record_ok(self, op: ClientOp, latency: float, result=None) -> None:
         """Count one completed op with its latency, by kind."""
-        self.latencies.append(latency)
+        self.latencies.observe(latency)
         self.ops += 1
         kind = op[0]
         if kind == "get":
@@ -248,10 +253,10 @@ class LoadReport:
         elif kind == "mget":
             self.mgets += 1
             self.reads += len(op[1])  # every key in the batch is a read
-            self.mget_latencies.append(latency)
+            self.mget_latencies.observe(latency)
         elif kind == "scan":
             self.scans += 1
-            self.scan_latencies.append(latency)
+            self.scan_latencies.observe(latency)
             if result is not None:
                 self.scanned_entries += len(result)
         else:
@@ -279,8 +284,6 @@ class LoadReport:
 
     def to_dict(self) -> dict:
         """JSON-serializable summary (``repro loadgen --json``)."""
-        from repro.bench.report import percentile
-
         return {
             "mode": self.mode,
             "clients": self.clients,
@@ -295,20 +298,17 @@ class LoadReport:
             "error_samples": list(self.error_samples),
             "elapsed_s": self.elapsed_s,
             "ops_per_s": self.throughput,
-            "p50_s": percentile(self.latencies, 0.5) if self.latencies else 0.0,
-            "p99_s": percentile(self.latencies, 0.99) if self.latencies else 0.0,
-            "scan_p50_s": (
-                percentile(self.scan_latencies, 0.5) if self.scan_latencies else 0.0
-            ),
-            "scan_p99_s": (
-                percentile(self.scan_latencies, 0.99) if self.scan_latencies else 0.0
-            ),
-            "mget_p50_s": (
-                percentile(self.mget_latencies, 0.5) if self.mget_latencies else 0.0
-            ),
-            "mget_p99_s": (
-                percentile(self.mget_latencies, 0.99) if self.mget_latencies else 0.0
-            ),
+            "p50_s": self.latencies.percentile(0.5),
+            "p99_s": self.latencies.percentile(0.99),
+            "scan_p50_s": self.scan_latencies.percentile(0.5),
+            "scan_p99_s": self.scan_latencies.percentile(0.99),
+            "mget_p50_s": self.mget_latencies.percentile(0.5),
+            "mget_p99_s": self.mget_latencies.percentile(0.99),
+            # Full bucketed distributions, not just two percentiles:
+            # downstream tooling can merge or re-quantile them.
+            "latency_buckets": self.latencies.to_dict(),
+            "scan_latency_buckets": self.scan_latencies.to_dict(),
+            "mget_latency_buckets": self.mget_latencies.to_dict(),
             "cache_hit_rate": self.cache_hit_rate,
             "server_stats": self.server_stats,
         }
@@ -412,7 +412,6 @@ def format_report(report: LoadReport) -> str:
         format_rate,
         format_seconds,
         latency_columns,
-        percentile,
     )
 
     ops_line = f"ops:             {report.ops} ({report.reads} reads, "
@@ -436,17 +435,17 @@ def format_report(report: LoadReport) -> str:
         for sample in report.error_samples:
             lines.append(f"  e.g. {sample}")
 
-    def latency_line(label: str, samples: List[float]) -> str:
+    def latency_line(label: str, hist: LatencyHistogram) -> str:
         # The shared percentile-column path of the figure benchmarks.
         p50, p99 = latency_columns(
             {
-                "p50": percentile(samples, 0.5),
-                "p99": percentile(samples, 0.99),
+                "p50": hist.percentile(0.5),
+                "p99": hist.percentile(0.99),
             },
             ["p50", "p99"],
         )
         return (
-            f"{label}p50 {p50}  p99 {p99}  max {format_seconds(max(samples))}"
+            f"{label}p50 {p50}  p99 {p99}  max {format_seconds(hist.max)}"
         )
 
     if report.latencies:

@@ -31,6 +31,8 @@ SCAN            lo16, hi16, u64 at_blk, u32 limit    one result page: u8 more,
 ROOT            —                                    digest16, u64 ver, u64 blk
 STATS           —                                    blob32 (JSON, utf-8)
 FLUSH           —                                    digest16, u64 ver, u64 blk
+METRICS         —                                    blob32 (Prometheus text
+                                                     exposition, utf-8)
 REPL_SUBSCRIBE  u64 start_height                     u64 primary height, then
                                                      a stream of record frames
 ==============  ===================================  =========================
@@ -125,6 +127,7 @@ class Op:
     SCAN = 9
     MULTI_GET = 10
     MULTI_PUT = 11
+    METRICS = 12
 
 
 class Status:
@@ -277,7 +280,7 @@ def encode_multi_put(items: List[Tuple[bytes, bytes]]) -> bytes:
 
 
 def encode_simple(op: int) -> bytes:
-    """ROOT / STATS / FLUSH — opcode-only requests."""
+    """ROOT / STATS / FLUSH / METRICS — opcode-only requests."""
     return encode_frame(bytes([op]))
 
 
@@ -314,7 +317,7 @@ def decode_request(body: bytes) -> Tuple[int, tuple]:
         return op, (items,)
     if op == Op.REPL_SUBSCRIBE:
         return op, (cursor.u64(),)
-    if op in (Op.ROOT, Op.STATS, Op.FLUSH):
+    if op in (Op.ROOT, Op.STATS, Op.FLUSH, Op.METRICS):
         return op, ()
     raise StorageError(f"unknown opcode {op}")
 
@@ -360,7 +363,7 @@ def encode_root_response(info: RootInfo) -> bytes:
 
 
 def encode_blob_response(blob: bytes) -> bytes:
-    """PROV / STATS response."""
+    """PROV / STATS / METRICS response."""
     return encode_ok(pack_bytes32(blob))
 
 

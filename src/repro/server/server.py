@@ -56,15 +56,34 @@ import heapq
 import json
 import pickle
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import List, Optional, Set, Tuple
 
 from repro.common.errors import StorageError
+from repro.obs import MetricsRegistry
 from repro.server import protocol
 from repro.server.batcher import MISSING, WriteBatcher
 from repro.server.cache import NegativeLookupCache, VersionedReadCache
 from repro.server.protocol import Op, RootInfo
+
+#: Opcode -> STATS/metrics label, shared by the op counters and the
+#: per-op latency histograms.
+OP_NAMES = {
+    Op.PUT: "put",
+    Op.GET: "get",
+    Op.GET_AT: "get_at",
+    Op.PROV: "prov",
+    Op.ROOT: "root",
+    Op.STATS: "stats",
+    Op.FLUSH: "flush",
+    Op.REPL_SUBSCRIBE: "repl",
+    Op.SCAN: "scan",
+    Op.MULTI_GET: "multi_get",
+    Op.MULTI_PUT: "multi_put",
+    Op.METRICS: "metrics",
+}
 
 
 @dataclass(frozen=True)
@@ -113,12 +132,24 @@ class _WalSyncer:
     pile on, the more acks each fsync amortizes.
     """
 
-    def __init__(self, wal, run_in_executor) -> None:
+    def __init__(self, wal, run_in_executor, metrics=None) -> None:
         self.wal = wal
         self._run = run_in_executor
         self._waiters: List[tuple] = []  # heap of (lsn, seq, future)
         self._seq = 0
         self._task: Optional[asyncio.Task] = None
+        self._fsync_hist = None
+        if metrics is not None:
+            self._fsync_hist = metrics.histogram(
+                "repro_wal_fsync_seconds", help="WAL sync() latency"
+            )
+
+    async def _sync(self) -> int:
+        started = time.perf_counter()
+        synced = await self._run(self.wal.sync)
+        if self._fsync_hist is not None:
+            self._fsync_hist.observe(time.perf_counter() - started)
+        return synced
 
     async def durable(self, lsn: int) -> None:
         """Return once the WAL record at ``lsn`` is durable (per policy)."""
@@ -126,7 +157,7 @@ class _WalSyncer:
         if policy == "none":
             return  # ack on reaching the OS page cache
         if policy == "always":
-            await self._run(self.wal.sync)  # strict: an fsync per ack
+            await self._sync()  # strict: an fsync per ack
             return
         if lsn <= self.wal.synced_lsn:
             return
@@ -142,7 +173,7 @@ class _WalSyncer:
         try:
             while self._waiters:
                 try:
-                    synced = await self._run(self.wal.sync)
+                    synced = await self._sync()
                 except Exception as exc:  # fail every parked ack loudly
                     error = StorageError(f"WAL sync failed: {exc}")
                     while self._waiters:
@@ -211,11 +242,14 @@ class ColeServer:
         self._conn_tasks: Set[asyncio.Task] = set()
         self._conn_writers: Set[asyncio.StreamWriter] = set()
         # Op counters (STATS).
-        self.op_counts = {"put": 0, "get": 0, "get_at": 0, "prov": 0,
-                          "scan": 0, "root": 0, "stats": 0, "flush": 0,
-                          "repl": 0, "multi_get": 0, "multi_put": 0}
+        self.op_counts = {name: 0 for name in OP_NAMES.values()}
         self.overlay_hits = 0
         self.connections_total = 0
+        #: The process-wide metrics registry: per-op latency histograms
+        #: land here, the batcher / WAL syncer / merge schedulers /
+        #: replica applier record into it, and ``Op.METRICS`` exposes it.
+        self.metrics = MetricsRegistry()
+        self._op_hists: dict = {}  # opcode -> cached latency histogram
 
     # =========================================================================
     # lifecycle
@@ -244,7 +278,7 @@ class ColeServer:
                 self.wal.append_commit(height, root)
             if self.replay_stats.replayed_roots and self.wal.sync_policy != "none":
                 await self._run(self.wal.sync)
-            self.wal_syncer = _WalSyncer(self.wal, self._run)
+            self.wal_syncer = _WalSyncer(self.wal, self._run, self.metrics)
             self.hub = ReplicationHub(self.engine, self.wal)
         if self.replica_of is not None:
             from repro.replication import ReplicaApplier
@@ -262,7 +296,14 @@ class ColeServer:
                 on_commit=self._committed,
                 wal=self.wal,
                 hub=self.hub,
+                metrics=self.metrics,
             )
+        # Merge durations / bytes rewritten: every shard's scheduler
+        # reports into this server's registry.
+        for shard in getattr(self.engine, "shards", None) or [self.engine]:
+            scheduler = getattr(shard, "scheduler", None)
+            if scheduler is not None:
+                scheduler.metrics = self.metrics
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -348,6 +389,7 @@ class ColeServer:
                 body = await protocol.read_frame(reader)
                 if body is None:
                     break
+                started = time.perf_counter()
                 try:
                     op, args = protocol.decode_request(body)
                     if op == Op.REPL_SUBSCRIBE:
@@ -360,6 +402,10 @@ class ColeServer:
                     raise
                 except Exception as exc:
                     response = protocol.encode_error(f"{type(exc).__name__}: {exc}")
+                else:
+                    # Successful requests only: an errored op's timing
+                    # measures the failure path, not the service.
+                    self._observe_op(op, time.perf_counter() - started)
                 writer.write(response)
                 await writer.drain()
         except StorageError:
@@ -375,6 +421,19 @@ class ColeServer:
                 await writer.wait_closed()
             except (asyncio.CancelledError, ConnectionResetError, BrokenPipeError):
                 pass
+
+    def _observe_op(self, op: int, elapsed: float) -> None:
+        """Record one served request's wall time (histogram cached per
+        opcode so the hot path never hits the registry dict)."""
+        hist = self._op_hists.get(op)
+        if hist is None:
+            hist = self.metrics.histogram(
+                "repro_op_latency_seconds",
+                help="Server-side request latency by opcode",
+                op=OP_NAMES.get(op, str(op)),
+            )
+            self._op_hists[op] = hist
+        hist.observe(elapsed)
 
     async def _dispatch(self, op: int, args: tuple) -> bytes:
         if op in (Op.PUT, Op.MULTI_PUT, Op.FLUSH) and self.replica is not None:
@@ -422,6 +481,10 @@ class ColeServer:
             self.op_counts["stats"] += 1
             blob = json.dumps(await self._stats()).encode()
             return protocol.encode_blob_response(blob)
+        if op == Op.METRICS:
+            self.op_counts["metrics"] += 1
+            text = await self._metrics_text()
+            return protocol.encode_blob_response(text.encode("utf-8"))
         if op == Op.FLUSH:
             self.op_counts["flush"] += 1
             self.batcher.forced_flushes += 1
@@ -676,7 +739,7 @@ class ColeServer:
             "connections_total": self.connections_total,
             "version": self.version,
             "committed_height": committed,
-            "open_height": batcher._next_height if batcher is not None else committed,
+            "open_height": batcher.next_height if batcher is not None else committed,
             "buffered_puts": batcher.buffered if batcher is not None else 0,
             "overlay_hits": self.overlay_hits,
             # One locked snapshot: hits / misses / hit_rate are mutated by
@@ -690,7 +753,12 @@ class ColeServer:
                 "storage_bytes": storage,
                 "disk_levels": engine.num_disk_levels(),
                 "shards": num_shards,
+                # Where the engine lives on disk: repro query resolves a
+                # live server back to its workspace through this.
+                "workspace": getattr(engine, "directory", None)
+                or getattr(getattr(engine, "workspace", None), "root", None),
             },
+            "latency": self._latency_summaries(),
         }
         if batcher is not None:
             stats["batcher"] = {
@@ -730,6 +798,171 @@ class ColeServer:
                 "availability_floor": self.hub.availability_floor(),
             }
         return stats
+
+    def _latency_summaries(self) -> dict:
+        """The ``latency`` STATS section: histogram digests by family.
+
+        ``op`` and ``merge`` are always present (label -> summary, empty
+        until something was recorded); the single-series families appear
+        once they have samples.
+        """
+        registry = self.metrics
+        section: dict = {
+            "op": {
+                labels.get("op", ""): hist.summary()
+                for labels, hist in registry.histograms("repro_op_latency_seconds")
+            },
+            "merge": {
+                labels.get("kind", ""): hist.summary()
+                for labels, hist in registry.histograms("repro_merge_seconds")
+            },
+        }
+        for name, key in (
+            ("repro_commit_flush_seconds", "commit_flush"),
+            ("repro_commit_batch_size", "commit_batch_size"),
+            ("repro_wal_fsync_seconds", "wal_fsync"),
+            ("repro_replica_apply_seconds", "replica_apply"),
+        ):
+            series = registry.histograms(name)
+            if series:
+                section[key] = series[0][1].summary()
+        return section
+
+    async def _metrics_text(self) -> str:
+        """The ``Op.METRICS`` payload: Prometheus text exposition.
+
+        Histograms are already live in the registry; counters and gauges
+        whose source of truth is elsewhere (op counts, cache stats, IO
+        stats, heights, replication lag) are mirrored in at scrape time
+        — the hot paths never pay for them.
+        """
+        registry = self.metrics
+        for name, count in self.op_counts.items():
+            registry.counter(
+                "repro_ops_total", help="Requests served by opcode", op=name
+            ).set(count)
+        registry.counter(
+            "repro_connections_total", help="Connections accepted"
+        ).set(self.connections_total)
+        registry.counter(
+            "repro_overlay_hits_total", help="Reads answered by the write overlay"
+        ).set(self.overlay_hits)
+        registry.gauge("repro_commit_version", help="Read-cache epoch").set(
+            self.version
+        )
+        batcher = self.batcher
+        committed = (
+            batcher.last_height if batcher is not None else self.replica.applied_height
+        )
+        registry.gauge(
+            "repro_committed_height", help="Last committed block height"
+        ).set(committed)
+        registry.gauge("repro_open_height", help="Height of the open batch").set(
+            batcher.next_height if batcher is not None else committed
+        )
+        registry.gauge(
+            "repro_buffered_puts", help="Puts buffered in the open batch"
+        ).set(batcher.buffered if batcher is not None else 0)
+        if batcher is not None:
+            registry.counter(
+                "repro_commits_total", help="Group commits"
+            ).set(batcher.commits)
+            registry.counter(
+                "repro_batched_puts_total", help="Puts committed through the batcher"
+            ).set(batcher.batched_puts)
+        for label, cache in (("read", self.cache), ("negative", self.negative)):
+            snapshot = cache.stats()
+            registry.counter(
+                "repro_cache_lookups_total", help="Cache lookups", cache=label
+            ).set(snapshot["lookups"])
+            registry.counter(
+                "repro_cache_hits_total", help="Cache hits", cache=label
+            ).set(snapshot["hits"])
+            registry.gauge(
+                "repro_cache_hit_rate", help="Cache hit rate", cache=label
+            ).set(snapshot["hit_rate"])
+            registry.gauge(
+                "repro_cache_entries", help="Cache occupancy", cache=label
+            ).set(snapshot["entries"])
+        engine = self.engine
+        registry.counter(
+            "repro_engine_puts_total", help="Puts applied by the engine"
+        ).set(engine.puts_total)
+        registry.gauge(
+            "repro_engine_storage_bytes", help="Engine on-disk footprint"
+        ).set(await self._run(engine.storage_bytes))
+        registry.gauge(
+            "repro_engine_disk_levels", help="Populated disk levels"
+        ).set(engine.num_disk_levels())
+        registry.gauge("repro_engine_shards", help="Engine shards").set(
+            len(engine.shards) if hasattr(engine, "shards") else 1
+        )
+        iostats = getattr(engine, "stats", None)
+        if iostats is not None:
+            for category, reads, writes in iostats.per_category():
+                registry.counter(
+                    "repro_page_reads_total",
+                    help="Pages read by file category",
+                    category=category,
+                ).set(reads)
+                registry.counter(
+                    "repro_page_writes_total",
+                    help="Pages written by file category",
+                    category=category,
+                ).set(writes)
+            page_cache = iostats.cache_summary()
+            registry.counter(
+                "repro_cache_lookups_total", cache="page"
+            ).set(page_cache["hits"] + page_cache["misses"])
+            registry.counter(
+                "repro_cache_hits_total", cache="page"
+            ).set(page_cache["hits"])
+            registry.gauge(
+                "repro_cache_hit_rate", cache="page"
+            ).set(page_cache["hit_rate"])
+        if self.wal is not None:
+            wal_stats = self.wal.stats()
+            registry.counter(
+                "repro_wal_syncs_total", help="WAL sync() calls"
+            ).set(wal_stats["syncs"])
+            registry.counter(
+                "repro_wal_records_appended_total", help="WAL records appended"
+            ).set(wal_stats["records_appended"])
+            registry.counter(
+                "repro_wal_bytes_appended_total", help="WAL bytes appended"
+            ).set(wal_stats["bytes_appended"])
+            registry.gauge(
+                "repro_wal_segments", help="Live WAL segments"
+            ).set(wal_stats["segments"])
+            registry.gauge(
+                "repro_wal_synced_lsn", help="Last durable LSN"
+            ).set(wal_stats["synced_lsn"])
+            registry.gauge(
+                "repro_wal_appended_lsn", help="Last appended LSN"
+            ).set(wal_stats["appended_lsn"])
+        if self.replica is not None:
+            replica_stats = self.replica.stats()
+            registry.gauge(
+                "repro_replication_lag_blocks",
+                help="Blocks behind the primary",
+            ).set(replica_stats["lag_blocks"])
+            registry.counter(
+                "repro_replication_batches_applied_total",
+                help="Primary batches applied",
+            ).set(replica_stats["batches_applied"])
+        elif self.hub is not None:
+            registry.gauge(
+                "repro_replication_subscribers", help="Live replica streams"
+            ).set(self.hub.subscribers)
+            registry.counter(
+                "repro_replication_batches_published_total",
+                help="Batches published to replicas",
+            ).set(self.hub.batches_published)
+            registry.counter(
+                "repro_replication_records_shipped_total",
+                help="WAL records shipped to replicas",
+            ).set(self.hub.records_shipped)
+        return registry.expose()
 
 
 class ServerThread:

@@ -497,6 +497,7 @@ class WriteAheadLog:
         return {
             "policy": self.sync_policy,
             "shards": self.num_shards,
+            "directory": self.directory,
             "puts_appended": self.puts_appended,
             "records_appended": self.records_appended,
             "bytes_appended": self.bytes_appended,
