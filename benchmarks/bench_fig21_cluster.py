@@ -1,0 +1,62 @@
+"""Figure 21 (extension): cluster write scaling with live shard serving.
+
+Not a paper figure — the cluster-serving experiment of this
+reproduction's ``repro.cluster`` layer.  For each node count N, an
+N-node cluster (one ``repro cluster serve`` process per node, one shard
+each) is loaded through the manifest-routed ``connect()`` client in
+deterministic waves, and its composite ``ROOT`` is asserted
+byte-identical to an in-process per-shard COLE oracle fed the same
+waves — the cluster must not lose or misroute a single write before its
+throughput means anything.  Then a closed-loop writer cohort saturates
+each shard server in isolation (the fig19 measurement model: every node
+is its own process/engine/WAL, so isolated per-node capacity is what a
+one-node-per-machine deployment aggregates).  Expected shape: aggregate
+writes/s grows with the node count.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_cluster_scaling
+from repro.bench.report import format_rate, format_table
+
+NODE_COUNTS = (1, 4)
+
+
+def test_fig21_cluster_write_scaling(benchmark, series):
+    rows = run_once(
+        benchmark,
+        run_cluster_scaling,
+        node_counts=NODE_COUNTS,
+        writers_per_node=8,
+        writes_per_writer=300,
+        num_keys=2048,
+        load_waves=4,
+    )
+    series("\nFigure 21 — cluster scaling: aggregate writes/s vs node count")
+    series(
+        format_table(
+            ["nodes", "shards", "writes", "agg writes/s", "slowest node",
+             "composite root", "oracle"],
+            [
+                [
+                    row["nodes"],
+                    row["shards"],
+                    row["writes"],
+                    format_rate(row["agg_writes_per_s"], 1.0),
+                    format_rate(row["writes_per_s_per_node"], 1.0),
+                    row["root"],
+                    "match" if row["oracle_match"] else "MISMATCH",
+                ]
+                for row in rows
+            ],
+        )
+    )
+    by_count = {row["nodes"]: row for row in rows}
+    # Correctness gate: every cluster's composite root equalled the
+    # in-process per-shard oracle (run_cluster_scaling raises otherwise).
+    for row in rows:
+        assert row["oracle_match"]
+    # The acceptance claim: four one-shard servers out-write one.
+    assert (
+        by_count[4]["agg_writes_per_s"] > by_count[1]["agg_writes_per_s"]
+    ), "a 4-node cluster must aggregate more write throughput than 1 node"

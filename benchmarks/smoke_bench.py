@@ -45,13 +45,13 @@ def collect_counters() -> dict:
 
     from repro.common.params import ColeParams
     from repro.core import Cole
-    from repro.server import ServerClient, ServerConfig, ServerThread
+    from repro.server import ServerConfig, ServerThread, connect
 
     def addr_of(n: int) -> bytes:
         return hashlib.sha256(f"counter-{n}".encode()).digest()
 
     async def scenario(host, port):
-        async with ServerClient(host, port) as client:
+        async with connect((host, port)) as client:
             for n in range(128):
                 await client.put(addr_of(n), f"v{n}".encode().ljust(40, b".")[:40])
             await client.flush()

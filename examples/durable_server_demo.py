@@ -22,7 +22,7 @@ import shutil
 import tempfile
 
 from repro.common.params import ColeParams, ShardParams, SystemParams
-from repro.server import ServerClient, ServerConfig, ServerThread
+from repro.server import ServerConfig, ServerThread, connect
 from repro.sharding import ShardedCole
 from repro.wal import WriteAheadLog, replay_wal, restore_store, snapshot_store
 
@@ -47,13 +47,13 @@ def value_of(n: int) -> bytes:
 
 async def drive(host: str, port: int) -> dict:
     async def worker(client_id: int) -> None:
-        async with ServerClient(host, port) as client:
+        async with connect((host, port)) as client:
             for i in range(PUTS_PER_CLIENT):
                 n = client_id * PUTS_PER_CLIENT + i
                 await client.put(addr_of(n), value_of(n))
 
     await asyncio.gather(*[worker(cid) for cid in range(CLIENTS)])
-    async with ServerClient(host, port) as control:
+    async with connect((host, port)) as control:
         return await control.stats()
 
 

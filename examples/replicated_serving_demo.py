@@ -10,7 +10,7 @@ Walks the replication story end to end:
 3. verify the replication oracle — every replica's ``ROOT`` digest is
    byte-identical to the primary's at the same height (COLE's commit
    checkpoints are deterministic, so equal roots mean equal state);
-4. fan reads out across the replicas with a :class:`ReplicatedClient`
+4. fan reads out across the replicas with the ``connect()`` client
    and show a write to a replica being re-routed to the primary via the
    ``NOT_PRIMARY`` referral.
 
@@ -25,10 +25,11 @@ import tempfile
 from repro.common.params import ColeParams, SystemParams
 from repro.core import Cole
 from repro.server import (
+    KVClient,
     ReplicatedClient,
-    ServerClient,
     ServerConfig,
     ServerThread,
+    connect,
 )
 from repro.wal import WriteAheadLog, replay_wal, restore_store, snapshot_store
 
@@ -49,7 +50,7 @@ def value_of(n: int) -> bytes:
     return (n * 31 + 7).to_bytes(4, "big") * 10
 
 
-async def wait_for_height(client: ServerClient, height: int):
+async def wait_for_height(client: KVClient, height: int):
     while True:
         info = await client.root()
         if info.height >= height:
@@ -74,7 +75,7 @@ def main() -> None:
                 print(f"replica-1 serving on {r1[0]}:{r1[1]} (empty bootstrap)")
 
                 async def load_first_half():
-                    async with ServerClient(phost, pport) as client:
+                    async with connect((phost, pport)) as client:
                         for n in range(KEYS // 2):
                             await client.put(addr_of(n), value_of(n))
                         return await client.flush()
@@ -97,22 +98,22 @@ def main() -> None:
                     print(f"replica-2 serving on {r2[0]}:{r2[1]}")
 
                     async def finish_and_verify():
-                        async with ServerClient(phost, pport) as client:
+                        async with connect((phost, pport)) as client:
                             for n in range(KEYS // 2, KEYS):
                                 await client.put(addr_of(n), value_of(n))
                             info = await client.flush()
                         for name, (host, port) in (
                             ("replica-1", r1), ("replica-2", r2)
                         ):
-                            async with ServerClient(host, port) as reader:
+                            async with connect((host, port)) as reader:
                                 rinfo = await wait_for_height(reader, info.height)
                                 assert rinfo.digest == info.digest, name
                                 print(
                                     f"{name}: height {rinfo.height}, root "
                                     f"{rinfo.digest.hex()[:16]}… byte-identical"
                                 )
-                        async with ReplicatedClient(
-                            (phost, pport), [r1, r2]
+                        async with connect(
+                            (phost, pport), replicas=[r1, r2]
                         ) as fan:
                             values = [
                                 await fan.get(addr_of(n)) for n in range(KEYS)

@@ -25,9 +25,9 @@ import tempfile
 from repro.common.params import ColeParams, ShardParams, SystemParams
 from repro.server import (
     LoadgenParams,
-    ServerClient,
     ServerConfig,
     ServerThread,
+    connect,
     format_report,
     run_loadgen,
 )
@@ -61,7 +61,7 @@ async def main() -> None:
         host, port = thread.start()
         print(f"serving 2 shards on {host}:{port}\n")
 
-        async with ServerClient(host, port) as client:
+        async with connect((host, port)) as client:
             # -- load two versions of 300 ordered keys --------------------
             for n in range(300):
                 await client.put(addr_of(n), value_of(n, 1))

@@ -23,9 +23,9 @@ import tempfile
 from repro.common.params import ColeParams, ShardParams, SystemParams
 from repro.server import (
     LoadgenParams,
-    ServerClient,
     ServerConfig,
     ServerThread,
+    connect,
     format_report,
     replay_writes,
     run_loadgen,
@@ -61,7 +61,7 @@ async def main() -> None:
         # -- byte-identical with the in-process engine --------------------
         direct = ShardedCole(direct_dir, ShardParams(cole=COLE, num_shards=2))
         replay_writes(direct, PARAMS)
-        async with ServerClient(host, port, pool_size=4) as client:
+        async with connect((host, port), pool_size=4) as client:
             mismatches = 0
             for rank in range(PARAMS.num_keys):
                 addr = key_addr(rank, PARAMS.addr_size)

@@ -601,12 +601,14 @@ def run_durability(
 # Figure 19 (extension): read scaling across live replicas
 # =============================================================================
 
-def _spawn_serve_process(workspace: str, extra: Sequence[str], timeout_s: float = 60.0):
-    """Start ``repro serve`` in a subprocess; returns ``(proc, host, port)``.
+def _spawn_cli_process(argv: Sequence[str], timeout_s: float = 60.0):
+    """Start ``repro.cli`` in a subprocess and wait for its readiness line.
 
-    Subprocesses (not threads) on purpose: read scaling across replicas
-    is a claim about independent engines on independent cores, which the
-    GIL would flatten inside one interpreter.
+    Subprocesses (not threads) on purpose: scaling across servers is a
+    claim about independent engines on independent cores, which the GIL
+    would flatten inside one interpreter.  Both ``repro serve`` and
+    ``repro cluster serve`` print the same ``serving ... on HOST:PORT``
+    line once every port is bound; returns ``(proc, host, port)``.
     """
     import os
     import re
@@ -620,10 +622,7 @@ def _spawn_serve_process(workspace: str, extra: Sequence[str], timeout_s: float 
     env = dict(os.environ)
     env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
     proc = subprocess.Popen(
-        [
-            sys.executable, "-u", "-m", "repro.cli", "serve", workspace,
-            "--port", "0", *extra,
-        ],
+        [sys.executable, "-u", "-m", "repro.cli", *argv],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
@@ -647,6 +646,13 @@ def _spawn_serve_process(workspace: str, extra: Sequence[str], timeout_s: float 
         proc.kill()
         raise RuntimeError(f"server never came up:\n{''.join(lines)}")
     return proc, found["host"], found["port"]
+
+
+def _spawn_serve_process(workspace: str, extra: Sequence[str], timeout_s: float = 60.0):
+    """Start ``repro serve`` in a subprocess; returns ``(proc, host, port)``."""
+    return _spawn_cli_process(
+        ["serve", workspace, "--port", "0", *extra], timeout_s
+    )
 
 
 def _run_loadgen_process(host: str, port: int, clients: int, ops: int,
@@ -1445,3 +1451,205 @@ def run_scan_vs_hotset(
         ]
     finally:
         cleanup(backend, directory)
+
+
+# =============================================================================
+# Figure 21 (extension): cluster write scaling with manifest-routed clients
+# =============================================================================
+
+def _free_ports(count: int) -> List[int]:
+    """``count`` currently-free TCP ports, all distinct.
+
+    Held open simultaneously while probing so the OS cannot hand the
+    same port out twice; a server binding one immediately after is the
+    usual (benign) probe race every ephemeral-port harness accepts.
+    """
+    import socket
+
+    sockets = []
+    try:
+        for _ in range(count):
+            sock = socket.socket()
+            sock.bind(("127.0.0.1", 0))
+            sockets.append(sock)
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
+def run_cluster_scaling(
+    node_counts: Sequence[int] = (1, 4),
+    writers_per_node: int = 8,
+    writes_per_writer: int = 400,
+    num_keys: int = 2048,
+    load_waves: int = 4,
+    seed: int = 7,
+) -> List[Row]:
+    """Figure 21 (new): aggregate write throughput vs cluster node count.
+
+    For each N: an N-node cluster (one shard per node, one ``repro
+    cluster serve`` *process* per node) is initialised from a manifest
+    and loaded through the manifest-routed :func:`repro.server.connect`
+    client in deterministic waves — one ``multi_put`` + ``flush`` per
+    wave, so every shard commits exactly one block per wave.  The
+    cluster's composite ``ROOT`` is then asserted **byte-identical** to
+    an in-process oracle: one local :class:`~repro.core.Cole` per shard
+    fed exactly that shard's share of each wave (the same crc32 routing)
+    and committed on the same block boundaries.  COLE's commit
+    checkpoints are deterministic functions of the per-shard put stream,
+    so the served cluster must agree with the oracle digest-for-digest
+    or it lost or misrouted a write.
+
+    **Measurement model** (the fig19 idiom): a closed-loop writer cohort
+    then saturates each shard server **one node at a time**, using only
+    keys that shard owns, and the aggregate writes/s is the sum of the
+    isolated per-node rates — each node is its own process with its own
+    engine and WAL, so per-node capacity measured in isolation is what a
+    one-node-per-machine deployment aggregates, while driving all nodes
+    at once on a small shared CI host would only measure that host's
+    core budget.
+    """
+    import asyncio
+    import shutil
+
+    from repro.common.hashing import hash_concat
+    from repro.common.params import ColeParams
+    from repro.server import ServerClient, connect
+    from repro.server.loadgen import _value, key_addr
+
+    rows: List[Row] = []
+    for nodes in node_counts:
+        base = fresh_dir()
+        procs = []
+        try:
+            from repro.cluster import plan_manifest
+
+            ports = _free_ports(2 * nodes)
+            manifest = plan_manifest(nodes, nodes)
+            manifest = manifest.with_addresses(
+                {shard_id: f"127.0.0.1:{ports[2 * shard_id]}" for shard_id in range(nodes)}
+            )
+            for index in range(nodes):
+                manifest = manifest.with_control(
+                    f"node-{index}", f"127.0.0.1:{ports[2 * index + 1]}"
+                )
+            manifest_path = f"{base}/manifest.json"
+            manifest.save(manifest_path)
+            for index in range(nodes):
+                proc, _, _ = _spawn_cli_process(
+                    [
+                        "cluster", "serve", f"{base}/node-{index}",
+                        "--node", f"node-{index}", "-m", manifest_path,
+                        "--batch-puts", "256", "--batch-delay-ms", "4",
+                    ]
+                )
+                procs.append(proc)
+
+            # Deterministic wave load + composite-root oracle.
+            waves = []
+            per_wave = (num_keys + load_waves - 1) // load_waves
+            for wave in range(load_waves):
+                waves.append(
+                    [
+                        (key_addr(rank, 32), _value(seed, rank, 40))
+                        for rank in range(
+                            wave * per_wave, min((wave + 1) * per_wave, num_keys)
+                        )
+                    ]
+                )
+
+            async def load_cluster():
+                async with connect(manifest_file=manifest_path) as client:
+                    for batch in waves:
+                        await client.multi_put(batch)
+                        # Explicit group commit: the wave is one block on
+                        # every shard, matching the oracle's boundaries.
+                        await client.flush()
+                    return await client.root()
+
+            cluster_root = asyncio.run(load_cluster())
+
+            shard_digests = []
+            for shard_id in range(nodes):
+                oracle = Cole(
+                    f"{base}/oracle-{shard_id}",
+                    ColeParams(async_merge=True, mem_capacity=512),
+                )
+                try:
+                    height = 0
+                    for batch in waves:
+                        bucket = [
+                            item
+                            for item in batch
+                            if manifest.shard_for(item[0]) == shard_id
+                        ]
+                        if not bucket:
+                            continue  # that shard committed no block
+                        height += 1
+                        oracle.begin_block(height)
+                        oracle.put_many(bucket)
+                        oracle.commit_block()
+                    shard_digests.append(oracle.root_digest())
+                finally:
+                    oracle.close()
+            oracle_digest = bytes(hash_concat(shard_digests))
+            if bytes(cluster_root.digest) != oracle_digest:
+                raise RuntimeError(
+                    f"cluster root {bytes(cluster_root.digest).hex()} != "
+                    f"oracle root {oracle_digest.hex()} at {nodes} nodes"
+                )
+
+            # Saturate one shard server at a time with keys it owns (see
+            # docstring); the aggregate is the sum of isolated rates.
+            owned: Dict[int, List[bytes]] = {s: [] for s in range(nodes)}
+            for rank in range(num_keys):
+                addr = key_addr(rank, 32)
+                owned[manifest.shard_for(addr)].append(addr)
+            per_node_rates = []
+            total_writes = 0
+
+            async def saturate(address: str, keys: List[bytes]) -> float:
+                host, _, port = address.rpartition(":")
+                async with ServerClient(host, int(port)) as client:
+                    async def writer(writer_id: int) -> None:
+                        for index in range(writes_per_writer):
+                            rank = (writer_id * writes_per_writer + index) % len(keys)
+                            await client.put(
+                                keys[rank], _value(seed + 1, index, 40)
+                            )
+
+                    start = time.perf_counter()
+                    await asyncio.gather(
+                        *(writer(w) for w in range(writers_per_node))
+                    )
+                    elapsed = time.perf_counter() - start
+                return writers_per_node * writes_per_writer / elapsed
+
+            for shard_id in range(nodes):
+                rate = asyncio.run(
+                    saturate(manifest.address_of(shard_id), owned[shard_id])
+                )
+                per_node_rates.append(rate)
+                total_writes += writers_per_node * writes_per_writer
+            rows.append(
+                {
+                    "nodes": nodes,
+                    "shards": nodes,
+                    "writes": total_writes,
+                    "agg_writes_per_s": sum(per_node_rates),
+                    "writes_per_s_per_node": min(per_node_rates),
+                    "root": bytes(cluster_root.digest).hex()[:16],
+                    "oracle_match": True,
+                }
+            )
+        finally:
+            for proc in procs:
+                proc.terminate()
+            for proc in procs:
+                try:
+                    proc.wait(timeout=15)
+                except Exception:
+                    proc.kill()
+            shutil.rmtree(base, ignore_errors=True)
+    return rows

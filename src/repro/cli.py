@@ -12,6 +12,10 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli loadgen --port 7407 --multi-get-size 16
     python -m repro.cli snapshot /path/to/workspace /path/to/snapshot
     python -m repro.cli restore /path/to/snapshot /path/to/new-workspace
+    python -m repro.cli cluster init manifest.json --nodes 2 --shards 4
+    python -m repro.cli cluster serve /data/node0 --node node-0 -m manifest.json
+    python -m repro.cli cluster status -m manifest.json
+    python -m repro.cli cluster migrate 0 node-1 -m manifest.json --snapshot-dir /tmp/s0
 """
 
 from __future__ import annotations
@@ -36,6 +40,7 @@ _EXPERIMENTS = {
     "fig18": ("run_durability", {}),
     "fig19": ("run_read_scaling", {}),
     "fig20": ("run_scan_throughput", {}),
+    "fig21": ("run_cluster_scaling", {}),
     "table1": ("run_complexity_table", {}),
     "index-share": ("run_index_share", {}),
     "multi-get": ("run_multi_get", {}),
@@ -386,7 +391,18 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             scan_fraction=args.scan_frac,
             **kwargs,
         )
-    report = run_loadgen_sync(args.host, args.port, params)
+    client_factory = None
+    if args.manifest or args.seeds:
+        # Cluster target: every worker routes by the manifest through
+        # the same connect() factory the single-server path uses.
+        from repro.server import connect
+
+        manifest_file = args.manifest
+        seeds = tuple(s for s in (args.seeds or "").split(",") if s)
+        client_factory = lambda: connect(  # noqa: E731
+            manifest_file=manifest_file, seeds=seeds
+        )
+    report = run_loadgen_sync(args.host, args.port, params, client_factory)
     if args.json:
         import json
 
@@ -394,6 +410,141 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     else:
         print(format_report(report))
     return 1 if report.errors else 0
+
+
+def cmd_cluster_init(args: argparse.Namespace) -> int:
+    """Write an epoch-0 cluster manifest with round-robin placement."""
+    from repro.cluster import plan_manifest
+
+    manifest = plan_manifest(
+        args.nodes, args.shards, host=args.host, base_port=args.base_port
+    )
+    manifest.save(args.manifest)
+    print(f"wrote {args.manifest} (epoch 0, {args.shards} shards)")
+    for name, control in sorted(manifest.nodes.items()):
+        owned = manifest.shards_of_node(name)
+        print(f"  {name}: control {control}, shards {list(owned)}")
+        print(f"    repro cluster serve <workspace>/{name} --node {name} "
+              f"-m {args.manifest}")
+    return 0
+
+
+def cmd_cluster_serve(args: argparse.Namespace) -> int:
+    """Serve one cluster node (its shard group + control port)."""
+    import asyncio
+
+    from repro.cluster import ClusterManifest, ClusterNode
+    from repro.server import ServerConfig
+
+    manifest = ClusterManifest.load(args.manifest)
+    lock = _lock_workspace(args.workspace, "a second cluster node")
+    config = ServerConfig(
+        batch_max_puts=args.batch_puts,
+        batch_max_delay=args.batch_delay_ms / 1000.0,
+    )
+    node = ClusterNode(
+        args.workspace,
+        args.node,
+        manifest,
+        config=config,
+        mem_capacity=args.mem_capacity,
+        wal_sync=args.wal_sync,
+    )
+
+    async def serve() -> None:
+        host, port = await node.start()
+        for shard_id, address in sorted(node.data_addresses().items()):
+            print(f"  shard {shard_id}: {address}", flush=True)
+        # Same readiness line shape as `repro serve`, so process
+        # supervisors and the bench harness share one regex.
+        print(
+            f"serving {args.workspace} on {host}:{port} "
+            f"(cluster node {args.node}, {len(node.shards)} shards, "
+            f"control; Ctrl-C stops)",
+            flush=True,
+        )
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await node.stop()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("\nstopped")
+    finally:
+        lock.close()
+    return 0
+
+
+def cmd_cluster_status(args: argparse.Namespace) -> int:
+    """Ask every node's control port for its shard states."""
+    import asyncio
+
+    from repro.cluster import ClusterManifest, admin_call, fetch_manifest
+
+    if args.manifest:
+        manifest = ClusterManifest.load(args.manifest)
+    elif args.seed:
+        manifest = asyncio.run(fetch_manifest(args.seed))
+    else:
+        raise SystemExit("cluster status needs --manifest or --seed")
+    print(f"manifest epoch {manifest.epoch}, {manifest.num_shards} shards")
+    rows = []
+    for name, control in sorted(manifest.nodes.items()):
+        try:
+            status = asyncio.run(admin_call(control, {"cmd": "status"}))
+        except Exception as exc:  # noqa: BLE001 — report, don't die
+            rows.append([name, control, "-", f"unreachable: {exc}", "-", "-"])
+            continue
+        for shard_id, shard in sorted(status["shards"].items()):
+            rows.append(
+                [
+                    name,
+                    control,
+                    shard_id,
+                    shard["phase"]
+                    + (f" -> {shard['moved_to']}" if shard["moved_to"] else ""),
+                    shard["height"],
+                    shard["address"],
+                ]
+            )
+    print(format_table(
+        ["node", "control", "shard", "phase", "height", "address"], rows
+    ))
+    return 0
+
+
+def cmd_cluster_migrate(args: argparse.Namespace) -> int:
+    """Live-migrate one shard to another node, rewriting the manifest."""
+    import tempfile
+
+    from repro.cluster import ClusterManifest, migrate_shard_sync
+
+    manifest = ClusterManifest.load(args.manifest)
+    old = manifest.shards[args.shard]
+    snapshot_dir = args.snapshot_dir or tempfile.mkdtemp(
+        prefix=f"repro-migrate-shard{args.shard}-"
+    )
+    print(
+        f"migrating shard {args.shard}: {old.node} ({old.address}) "
+        f"-> {args.to_node} ..."
+    )
+    new_manifest = migrate_shard_sync(
+        manifest,
+        args.shard,
+        args.to_node,
+        snapshot_dir=snapshot_dir,
+        timeout=args.timeout,
+    )
+    new_manifest.save(args.manifest)
+    moved = new_manifest.shards[args.shard]
+    print(
+        f"shard {args.shard} now on {moved.node} ({moved.address}); "
+        f"manifest epoch {manifest.epoch} -> {new_manifest.epoch}, "
+        f"rewrote {args.manifest}"
+    )
+    return 0
 
 
 def cmd_query(args: argparse.Namespace) -> int:
@@ -562,7 +713,96 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument(
         "--json", action="store_true", help="print the report as JSON"
     )
+    loadgen.add_argument(
+        "--manifest",
+        default=None,
+        help="cluster manifest file: route ops across the cluster instead "
+        "of --host/--port",
+    )
+    loadgen.add_argument(
+        "--seeds",
+        default=None,
+        help="comma-separated cluster seed addresses (HOST:PORT,...) to "
+        "fetch the manifest from",
+    )
     loadgen.set_defaults(func=cmd_loadgen)
+
+    cluster = sub.add_parser(
+        "cluster", help="multi-process cluster: init / serve / status / migrate"
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command", required=True)
+
+    cluster_init = cluster_sub.add_parser(
+        "init", help="write an epoch-0 cluster manifest"
+    )
+    cluster_init.add_argument("manifest", help="manifest file to write")
+    cluster_init.add_argument("--nodes", type=int, default=2)
+    cluster_init.add_argument("--shards", type=int, default=4)
+    cluster_init.add_argument("--host", default="127.0.0.1")
+    cluster_init.add_argument(
+        "--base-port",
+        type=int,
+        default=7450,
+        help="node i gets control port base+16i, its shards the ports after",
+    )
+    cluster_init.set_defaults(func=cmd_cluster_init)
+
+    cluster_serve = cluster_sub.add_parser(
+        "serve", help="serve one node's shard group + control port"
+    )
+    cluster_serve.add_argument("workspace", help="this node's workspace directory")
+    cluster_serve.add_argument(
+        "--node", required=True, help="node name from the manifest (e.g. node-0)"
+    )
+    cluster_serve.add_argument(
+        "-m", "--manifest", required=True, help="cluster manifest file"
+    )
+    cluster_serve.add_argument("--mem-capacity", type=int, default=512)
+    cluster_serve.add_argument(
+        "--batch-puts", type=int, default=512, help="group-commit size threshold"
+    )
+    cluster_serve.add_argument(
+        "--batch-delay-ms",
+        type=float,
+        default=10.0,
+        help="group-commit time threshold (milliseconds)",
+    )
+    cluster_serve.add_argument(
+        "--wal-sync",
+        choices=("none", "batch", "always"),
+        default="batch",
+        help="per-shard WAL fsync policy",
+    )
+    cluster_serve.set_defaults(func=cmd_cluster_serve)
+
+    cluster_status = cluster_sub.add_parser(
+        "status", help="shard states from every node's control port"
+    )
+    cluster_status.add_argument(
+        "-m", "--manifest", default=None, help="cluster manifest file"
+    )
+    cluster_status.add_argument(
+        "--seed",
+        default=None,
+        help="fetch the manifest from this member address instead",
+    )
+    cluster_status.set_defaults(func=cmd_cluster_status)
+
+    cluster_migrate = cluster_sub.add_parser(
+        "migrate", help="live-migrate one shard to another node"
+    )
+    cluster_migrate.add_argument("shard", type=int, help="shard id to move")
+    cluster_migrate.add_argument("to_node", help="destination node name")
+    cluster_migrate.add_argument(
+        "-m", "--manifest", required=True, help="manifest file (rewritten)"
+    )
+    cluster_migrate.add_argument(
+        "--snapshot-dir",
+        default=None,
+        help="bootstrap snapshot directory (default: a temp dir)",
+    )
+    cluster_migrate.add_argument("--timeout", type=float, default=60.0)
+    cluster_migrate.set_defaults(func=cmd_cluster_migrate)
 
     # The query group is click-based and parses its own arguments:
     # everything after "query" passes through untouched (add_help=False

@@ -1,0 +1,182 @@
+"""The live-migration coordinator: move one shard with zero lost acks.
+
+:func:`migrate_shard` drives a shard move entirely through the ADMIN
+command surface of the two involved nodes — it holds no cluster state of
+its own, so it can run from the CLI (``repro cluster migrate``), a test,
+or any host that can reach the control ports.
+
+The phases, and why the ordering is safe (DESIGN.md has the full
+argument):
+
+1. **snapshot** (source): flush + consistent on-disk snapshot of the
+   moving shard, with the WAL tail included.
+2. **adopt** (target): restore the snapshot, then serve the shard as a
+   *replica of the source* — the stock replication machinery does the
+   catch-up, with a local WAL mirror so the target can recover alone.
+3. **catch-up wait**: poll the target's applied height until it is
+   within ``catchup_lag`` blocks of the source.  Writes keep landing on
+   the source the whole time.
+4. **cutover** (source): the source atomically stops acking writes
+   (every data op now answers ``MOVED`` naming the target) and flushes;
+   the returned ``(height, root)`` is the final authoritative state.
+5. **promote** (target): wait until the replica has applied-and-verified
+   exactly that state, then restart it as a WAL-enabled primary on the
+   same port.  On *any* promote failure the source is **reinstated** —
+   authority never moves until the target has provably caught up.
+6. **broadcast**: every node adopts the ``epoch + 1`` manifest; stale
+   clients learn it via ``MOVED`` referrals instead.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Optional
+
+from repro.cluster.client import admin_call
+from repro.cluster.manifest import ClusterManifest
+from repro.common.errors import StorageError
+
+
+async def migrate_shard(
+    manifest: ClusterManifest,
+    shard_id: int,
+    to_node: str,
+    *,
+    snapshot_dir: str,
+    catchup_lag: int = 2,
+    poll_interval: float = 0.05,
+    timeout: float = 60.0,
+) -> ClusterManifest:
+    """Move ``shard_id`` to ``to_node`` live; returns the new manifest.
+
+    ``snapshot_dir`` must be an empty/absent directory reachable by both
+    nodes (single-host clusters share a filesystem; a real deployment
+    would put it on shared storage or stream it).
+    """
+    if not 0 <= shard_id < manifest.num_shards:
+        raise StorageError(f"no shard {shard_id} in this manifest")
+    if to_node not in manifest.nodes:
+        raise StorageError(f"unknown target node {to_node!r}")
+    source_node = manifest.shards[shard_id].node
+    if source_node == to_node:
+        raise StorageError(
+            f"shard {shard_id} already lives on {to_node}"
+        )
+    source_control = manifest.nodes[source_node]
+    target_control = manifest.nodes[to_node]
+    source_address = manifest.address_of(shard_id)
+    deadline = time.monotonic() + timeout
+
+    # 1. snapshot (source keeps serving; the flush inside makes the
+    #    snapshot cover every acked write so far).
+    await admin_call(
+        source_control,
+        {"cmd": "snapshot", "shard": shard_id, "dest": snapshot_dir},
+    )
+
+    # 2. adopt: the target restores and starts tailing the source.
+    adopted = await admin_call(
+        target_control,
+        {
+            "cmd": "adopt",
+            "shard": shard_id,
+            "snapshot": snapshot_dir,
+            "source": source_address,
+        },
+    )
+    new_address = adopted["address"]
+
+    # 3. wait until the target is nearly caught up — cutting over
+    #    against a far-behind target would stretch the MOVED window.
+    while True:
+        status = await admin_call(
+            target_control, {"cmd": "migration_status", "shard": shard_id}
+        )
+        if status.get("diverged"):
+            raise StorageError(
+                f"migration target diverged: {status.get('last_error')}"
+            )
+        if status.get("connected") and status.get("lag_blocks", 1 << 62) <= catchup_lag:
+            break
+        if time.monotonic() > deadline:
+            raise StorageError(
+                f"shard {shard_id} catch-up stalled at height "
+                f"{status.get('applied_height')} "
+                f"(lag {status.get('lag_blocks')})"
+            )
+        await asyncio.sleep(poll_interval)
+
+    # 4. cutover: after this returns, the source never acks another
+    #    write for the shard, and (height, root) is final.
+    new_manifest = manifest.with_moved(shard_id, to_node, new_address)
+    cut = await admin_call(
+        source_control,
+        {
+            "cmd": "cutover",
+            "shard": shard_id,
+            "to_address": new_address,
+            "epoch": new_manifest.epoch,
+        },
+    )
+
+    # 5. promote — or reinstate the source and fail: authority moves
+    #    only once the target provably holds the cutover state.
+    try:
+        await admin_call(
+            target_control,
+            {
+                "cmd": "promote",
+                "shard": shard_id,
+                "height": cut["height"],
+                "root": cut["root"],
+                "manifest": new_manifest.to_dict(),
+                "timeout": max(1.0, deadline - time.monotonic()),
+            },
+        )
+    except Exception:
+        try:
+            await admin_call(
+                source_control, {"cmd": "reinstate", "shard": shard_id}
+            )
+        except Exception:
+            pass  # the original failure is the one worth raising
+        raise
+
+    # 6. broadcast the new epoch (best effort — MOVED referrals cover
+    #    any node or client that misses it).
+    for node, control in new_manifest.nodes.items():
+        try:
+            await admin_call(
+                control,
+                {"cmd": "set_manifest", "manifest": new_manifest.to_dict()},
+            )
+        except (StorageError, ConnectionError, OSError):
+            pass
+    return new_manifest
+
+
+def migrate_shard_sync(
+    manifest: ClusterManifest,
+    shard_id: int,
+    to_node: str,
+    *,
+    snapshot_dir: str,
+    catchup_lag: int = 2,
+    poll_interval: float = 0.05,
+    timeout: float = 60.0,
+    loop: Optional[asyncio.AbstractEventLoop] = None,
+) -> ClusterManifest:
+    """:func:`migrate_shard` for synchronous callers (CLI, tests)."""
+    coro = migrate_shard(
+        manifest,
+        shard_id,
+        to_node,
+        snapshot_dir=snapshot_dir,
+        catchup_lag=catchup_lag,
+        poll_interval=poll_interval,
+        timeout=timeout,
+    )
+    if loop is not None:
+        return asyncio.run_coroutine_threadsafe(coro, loop).result()
+    return asyncio.run(coro)

@@ -1,0 +1,715 @@
+"""One cluster node: a shard group of ColeServers plus a control server.
+
+A :class:`ClusterNode` hosts one :class:`~repro.server.ColeServer` — its
+own :class:`~repro.core.storage.Cole` engine and its own WAL — **per
+shard it owns**, all on one event loop (one *process* per node in a real
+deployment: ``repro cluster serve``).  Making each shard a full
+WAL-enabled primary is the load-bearing choice of the whole design: a
+shard is then exactly the thing the replication machinery already knows
+how to snapshot, stream, and verify, so live migration composes from
+parts PR 3/4 built instead of growing a parallel state-transfer path.
+
+The node also runs a small **control server** speaking the same frame
+protocol, answering ``Op.CLUSTER`` (the manifest) and ``Op.ADMIN`` (a
+JSON command: status / snapshot / adopt / cutover / promote /
+set_manifest).  Migration is driven entirely through these commands —
+see :mod:`repro.cluster.migrate` for the coordinator and DESIGN.md
+"Cluster & Migration" for the cutover ordering proof.
+
+Each shard server carries a :class:`ShardRole`, the hook
+:class:`~repro.server.ColeServer` consults before dispatching any op:
+
+* a request for a key this shard does not own (a client with a stale or
+  absent manifest) answers ``MOVED`` naming the owner;
+* after a migration cutover every data op answers ``MOVED`` naming the
+  new owner — the server keeps running as a *moved husk* so stale
+  clients are referred instead of timing out, and so the replication
+  stream stays available until the target confirms promotion.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.cluster.manifest import ClusterManifest
+from repro.common.errors import StorageError
+from repro.server import protocol
+from repro.server.protocol import Op
+from repro.server.server import ColeServer, ServerConfig
+
+#: Migration phase -> gauge code (``repro_cluster_migration_phase``).
+PHASE_CODES = {
+    "serving": 0,
+    "snapshot": 1,
+    "catchup": 2,
+    "promoting": 3,
+    "moved": 4,
+}
+
+#: Ops that touch shard data and therefore obey MOVED referrals; control
+#: ops (ROOT / STATS / METRICS / CLUSTER) keep answering on a moved husk
+#: so operators and the migration coordinator can still observe it.
+_DATA_OPS = frozenset(
+    {
+        Op.PUT,
+        Op.GET,
+        Op.GET_AT,
+        Op.PROV,
+        Op.SCAN,
+        Op.MULTI_GET,
+        Op.MULTI_PUT,
+        Op.FLUSH,
+    }
+)
+
+#: Single-key ops whose first argument is the address to route-check.
+_KEYED_OPS = frozenset({Op.PUT, Op.GET, Op.GET_AT, Op.PROV})
+
+
+class ShardRole:
+    """One shard server's view of its place in the cluster.
+
+    :class:`~repro.server.ColeServer` calls :meth:`referral_for` before
+    dispatching; everything else (phase, counters) feeds STATS/METRICS.
+    """
+
+    def __init__(self, node: "ClusterNode", shard_id: int) -> None:
+        self.node = node
+        self.shard_id = shard_id
+        #: Migration phase of this shard on this node (PHASE_CODES).
+        self.phase = "serving"
+        #: Set at cutover: every data op refers here from now on.
+        self.moved_to: Optional[str] = None
+        self.moved_epoch = 0
+        #: MOVED referrals answered (stale clients + post-cutover traffic).
+        self.moved_referrals = 0
+
+    @property
+    def manifest(self) -> ClusterManifest:
+        return self.node.manifest
+
+    def manifest_json(self) -> bytes:
+        return self.manifest.to_json().encode("utf-8")
+
+    def referral_for(self, op: int, args: tuple) -> Optional[bytes]:
+        """A MOVED response when this server must not answer ``op``.
+
+        Two referral sources, checked in order: the shard as a whole has
+        moved (post-cutover), or the request's key belongs to a
+        different shard (a client routing with a stale or absent
+        manifest).  Scans are exempt from the key check — a cluster
+        client legitimately fans a range over every shard.
+        """
+        if op not in _DATA_OPS:
+            return None
+        if self.moved_to is not None:
+            self.moved_referrals += 1
+            return protocol.encode_moved(
+                self.moved_to, self.moved_epoch, self.shard_id
+            )
+        manifest = self.manifest
+        if op in _KEYED_OPS:
+            addrs = (args[0],)
+        elif op == Op.MULTI_GET:
+            addrs = tuple(args[0])
+        elif op == Op.MULTI_PUT:
+            addrs = tuple(addr for addr, _ in args[0])
+        else:  # SCAN / FLUSH carry no routable key
+            return None
+        for addr in addrs:
+            owner = manifest.shard_for(addr)
+            if owner != self.shard_id:
+                self.moved_referrals += 1
+                return protocol.encode_moved(
+                    manifest.address_of(owner), manifest.epoch, owner
+                )
+        return None
+
+    def stats(self) -> dict:
+        """The ``cluster`` STATS section of this shard's server."""
+        return {
+            "node": self.node.name,
+            "shard_id": self.shard_id,
+            "manifest_epoch": self.manifest.epoch,
+            "phase": self.phase,
+            "moved_to": self.moved_to,
+            "moved_referrals": self.moved_referrals,
+        }
+
+    def record_metrics(self, registry) -> None:
+        """Mirror ownership / migration state into a metrics registry."""
+        registry.gauge(
+            "repro_cluster_shard_id", help="Shard this server owns"
+        ).set(self.shard_id)
+        registry.gauge(
+            "repro_cluster_manifest_epoch", help="Adopted manifest epoch"
+        ).set(self.manifest.epoch)
+        registry.gauge(
+            "repro_cluster_migration_phase",
+            help="Migration phase (0=serving 1=snapshot 2=catchup "
+            "3=promoting 4=moved)",
+        ).set(PHASE_CODES.get(self.phase, -1))
+        registry.counter(
+            "repro_cluster_moved_referrals_total",
+            help="MOVED referrals answered",
+        ).set(self.moved_referrals)
+
+
+@dataclass
+class _ShardServing:
+    """Everything one hosted shard owns: engine, WAL, server, role."""
+
+    shard_id: int
+    engine: object
+    wal: object
+    server: ColeServer
+    role: ShardRole
+    #: Primary address this shard tails during migration catch-up
+    #: (``None`` once promoted / for ordinary primaries).
+    replica_source: Optional[Tuple[str, int]] = None
+    directory: str = ""
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def address(self) -> str:
+        return f"{self.server.host}:{self.server.port}"
+
+
+def _parse_hostport(value: str) -> Tuple[str, int]:
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise StorageError(f"expected HOST:PORT, got {value!r}")
+    return host, int(port)
+
+
+def shard_dirname(shard_id: int) -> str:
+    return f"shard-{shard_id:02d}"
+
+
+class ClusterNode:
+    """Host the shard servers assigned to ``name`` plus the control port."""
+
+    def __init__(
+        self,
+        workspace: str,
+        name: str,
+        manifest: ClusterManifest,
+        config: Optional[ServerConfig] = None,
+        mem_capacity: int = 512,
+        wal_sync: str = "batch",
+        ephemeral: bool = False,
+    ) -> None:
+        """``ephemeral=True`` binds every port as 0 regardless of the
+        manifest addresses (in-process tests); the caller then reads the
+        actual addresses back and patches a concrete manifest in via
+        ``set_manifest``."""
+        if name not in manifest.nodes:
+            raise StorageError(f"manifest names no node {name!r}")
+        self.workspace = workspace
+        self.name = name
+        self.manifest = manifest
+        self.config = config
+        self.mem_capacity = mem_capacity
+        self.wal_sync = wal_sync
+        self.ephemeral = ephemeral
+        self.shards: Dict[int, _ShardServing] = {}
+        self.control_host: Optional[str] = None
+        self.control_port: Optional[int] = None
+        self._control_server: Optional[asyncio.AbstractServer] = None
+        self._started_monotonic = 0.0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def control_address(self) -> str:
+        return f"{self.control_host}:{self.control_port}"
+
+    def data_addresses(self) -> Dict[int, str]:
+        """shard id -> actually-bound ``host:port`` of its data server."""
+        return {
+            shard_id: serving.address for shard_id, serving in self.shards.items()
+        }
+
+    async def start(self) -> Tuple[str, int]:
+        """Open engines, bind shard servers + control; returns the bound
+        control ``(host, port)``."""
+        self._started_monotonic = time.monotonic()
+        try:
+            for shard_id in self.manifest.shards_of_node(self.name):
+                await self._start_shard_primary(shard_id)
+            host, port = _parse_hostport(self.manifest.nodes[self.name])
+            if self.ephemeral:
+                port = 0
+            self._control_server = await asyncio.start_server(
+                self._handle_control, host, port
+            )
+            sock = self._control_server.sockets[0]
+            self.control_host, self.control_port = sock.getsockname()[:2]
+        except BaseException:
+            await self.stop()
+            raise
+        return self.control_host, self.control_port
+
+    async def _start_shard_primary(
+        self,
+        shard_id: int,
+        address: Optional[str] = None,
+        engine=None,
+        wal=None,
+        phase: str = "serving",
+    ) -> _ShardServing:
+        from repro.common.params import ColeParams
+        from repro.core import Cole
+        from repro.wal import WriteAheadLog
+
+        directory = os.path.join(self.workspace, shard_dirname(shard_id))
+        if engine is None:
+            os.makedirs(directory, exist_ok=True)
+            engine = Cole(
+                directory,
+                ColeParams(async_merge=True, mem_capacity=self.mem_capacity),
+            )
+        if wal is None:
+            wal = WriteAheadLog(
+                os.path.join(directory, "wal"),
+                num_shards=1,
+                sync_policy=self.wal_sync,
+            )
+        host, port = _parse_hostport(
+            address or self.manifest.address_of(shard_id)
+        )
+        if self.ephemeral and address is None:
+            port = 0
+        role = ShardRole(self, shard_id)
+        role.phase = phase
+        server = ColeServer(
+            engine, host, port, self.config, wal=wal, cluster=role
+        )
+        try:
+            await server.start()
+        except BaseException:
+            wal.close()
+            engine.close()
+            raise
+        serving = _ShardServing(
+            shard_id=shard_id,
+            engine=engine,
+            wal=wal,
+            server=server,
+            role=role,
+            directory=directory,
+        )
+        self.shards[shard_id] = serving
+        return serving
+
+    async def stop(self) -> None:
+        """Stop every server and close every engine/WAL (idempotent)."""
+        if self._control_server is not None:
+            self._control_server.close()
+            await self._control_server.wait_closed()
+            self._control_server = None
+        for serving in list(self.shards.values()):
+            await serving.server.stop()
+            try:
+                serving.wal.close()
+            except Exception:
+                pass
+            try:
+                serving.engine.close()
+            except Exception:
+                pass
+        self.shards.clear()
+
+    # -- control protocol -----------------------------------------------------
+
+    async def _handle_control(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                body = await protocol.read_frame(reader)
+                if body is None:
+                    break
+                try:
+                    op, args = protocol.decode_request(body)
+                    if op == Op.CLUSTER:
+                        response = protocol.encode_blob_response(
+                            self.manifest.to_json().encode("utf-8")
+                        )
+                    elif op == Op.ADMIN:
+                        result = await self._admin(json.loads(args[0]))
+                        response = protocol.encode_blob_response(
+                            json.dumps(result).encode("utf-8")
+                        )
+                    else:
+                        response = protocol.encode_error(
+                            "the control port answers CLUSTER and ADMIN only"
+                        )
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:  # noqa: BLE001 — answer, don't die
+                    response = protocol.encode_error(
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                writer.write(response)
+                await writer.drain()
+        except (StorageError, ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (asyncio.CancelledError, ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _admin(self, command: dict) -> dict:
+        """Dispatch one ADMIN command (the migration RPC surface)."""
+        cmd = command.get("cmd")
+        if cmd == "status":
+            return self.status()
+        if cmd == "set_manifest":
+            return self._set_manifest(command["manifest"])
+        if cmd == "snapshot":
+            return await self._admin_snapshot(
+                int(command["shard"]), command["dest"]
+            )
+        if cmd == "adopt":
+            return await self._admin_adopt(
+                int(command["shard"]), command["snapshot"], command["source"]
+            )
+        if cmd == "migration_status":
+            return self._migration_status(int(command["shard"]))
+        if cmd == "cutover":
+            return await self._admin_cutover(
+                int(command["shard"]),
+                command["to_address"],
+                int(command["epoch"]),
+            )
+        if cmd == "promote":
+            return await self._admin_promote(
+                int(command["shard"]),
+                int(command["height"]),
+                command["root"],
+                command.get("manifest"),
+                float(command.get("timeout", 30.0)),
+            )
+        if cmd == "reinstate":
+            return self._admin_reinstate(int(command["shard"]))
+        raise StorageError(f"unknown admin command {cmd!r}")
+
+    def status(self) -> dict:
+        return {
+            "node": self.name,
+            "manifest_epoch": self.manifest.epoch,
+            "uptime_s": time.monotonic() - self._started_monotonic,
+            "shards": {
+                str(shard_id): {
+                    "address": serving.address,
+                    "phase": serving.role.phase,
+                    "moved_to": serving.role.moved_to,
+                    "moved_referrals": serving.role.moved_referrals,
+                    "height": (
+                        serving.server.batcher.last_height
+                        if serving.server.batcher is not None
+                        else serving.server.replica.applied_height
+                    ),
+                }
+                for shard_id, serving in sorted(self.shards.items())
+            },
+        }
+
+    def _set_manifest(self, data: dict) -> dict:
+        manifest = ClusterManifest.from_dict(data)
+        # Monotonic adoption: a delayed rebroadcast of an older epoch
+        # must not roll routing back mid-migration.
+        if manifest.epoch >= self.manifest.epoch:
+            self.manifest = manifest
+        return {"epoch": self.manifest.epoch}
+
+    def _serving(self, shard_id: int) -> _ShardServing:
+        serving = self.shards.get(shard_id)
+        if serving is None:
+            raise StorageError(f"node {self.name} does not host shard {shard_id}")
+        return serving
+
+    # -- migration: source side ----------------------------------------------
+
+    async def _admin_snapshot(self, shard_id: int, dest: str) -> dict:
+        """Phase 1 (source): a consistent snapshot of the moving shard.
+
+        The batcher flushes first so every *acked* write is in the
+        engine — :func:`~repro.wal.snapshot_store` records the root a
+        restore must reproduce, and buffered-but-uncommitted puts would
+        make the restored store recover past it.
+        """
+        serving = self._serving(shard_id)
+        if serving.server.batcher is None:
+            raise StorageError(f"shard {shard_id} is not a primary here")
+        serving.role.phase = "snapshot"
+        try:
+            from repro.wal import snapshot_store
+
+            await serving.server.batcher.flush()
+            meta = await serving.server._run(
+                snapshot_store, serving.engine, dest, serving.wal
+            )
+        finally:
+            serving.role.phase = "serving"
+        return {
+            "dest": dest,
+            "root_digest": meta["root_digest"],
+            "files": len(meta["files"]),
+        }
+
+    async def _admin_cutover(
+        self, shard_id: int, to_address: str, epoch: int
+    ) -> dict:
+        """Phase 3 (source): stop owning the shard, hand off authority.
+
+        Ordering is the zero-loss argument (DESIGN.md): ``moved_to`` is
+        set *first* — dispatch is synchronous between the referral check
+        and the batcher insert, so after this line no new write can ack
+        here — then the batcher flushes, committing every already-acked
+        write and publishing it to the replication hub the target is
+        subscribed to.  The returned ``(height, root)`` is the exact
+        state the target must reach before promotion.
+        """
+        serving = self._serving(shard_id)
+        if serving.server.batcher is None:
+            raise StorageError(f"shard {shard_id} is not a primary here")
+        serving.role.moved_to = to_address
+        serving.role.moved_epoch = epoch
+        serving.role.phase = "moved"
+        root, height = await serving.server.batcher.flush()
+        if serving.wal.sync_policy != "none":
+            await serving.server._run(serving.wal.sync)
+        return {"height": height, "root": bytes(root).hex()}
+
+    def _admin_reinstate(self, shard_id: int) -> dict:
+        """Abort path: a failed promotion hands authority back."""
+        serving = self._serving(shard_id)
+        serving.role.moved_to = None
+        serving.role.moved_epoch = 0
+        serving.role.phase = "serving"
+        return {"shard": shard_id, "phase": "serving"}
+
+    # -- migration: target side ----------------------------------------------
+
+    async def _admin_adopt(
+        self, shard_id: int, snapshot: str, source: str
+    ) -> dict:
+        """Phase 2 (target): bootstrap the shard and start catching up.
+
+        Restores the snapshot (engine files + the source WAL's tail)
+        into this node's shard directory, replays the tail, then serves
+        the shard as a *replica of the source* — the stock
+        :class:`~repro.replication.ReplicaApplier` does the catch-up —
+        with a local ``replica_wal`` mirroring every applied batch so
+        the state survives a crash-and-promote (see server.py).
+        """
+        from repro.common.params import ColeParams
+        from repro.core import Cole
+        from repro.wal import WriteAheadLog, replay_wal, restore_store
+
+        if shard_id in self.shards:
+            raise StorageError(
+                f"node {self.name} already hosts shard {shard_id}"
+            )
+        directory = os.path.join(self.workspace, shard_dirname(shard_id))
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, restore_store, snapshot, directory)
+        engine = Cole(
+            directory,
+            ColeParams(async_merge=True, mem_capacity=self.mem_capacity),
+        )
+        wal = WriteAheadLog(
+            os.path.join(directory, "wal"),
+            num_shards=1,
+            sync_policy=self.wal_sync,
+        )
+        await loop.run_in_executor(None, replay_wal, engine, wal)
+        source_addr = _parse_hostport(source)
+        host, _ = _parse_hostport(self.manifest.nodes[self.name])
+        role = ShardRole(self, shard_id)
+        role.phase = "catchup"
+        server = ColeServer(
+            engine,
+            host,
+            0,  # ephemeral: the new manifest records the actual port
+            self.config,
+            replica_of=source_addr,
+            replica_wal=wal,
+            cluster=role,
+        )
+        try:
+            await server.start()
+        except BaseException:
+            wal.close()
+            engine.close()
+            raise
+        serving = _ShardServing(
+            shard_id=shard_id,
+            engine=engine,
+            wal=wal,
+            server=server,
+            role=role,
+            replica_source=source_addr,
+            directory=directory,
+        )
+        self.shards[shard_id] = serving
+        return {"address": serving.address, "height": server.replica.applied_height}
+
+    def _migration_status(self, shard_id: int) -> dict:
+        serving = self._serving(shard_id)
+        replica = serving.server.replica
+        if replica is None:
+            return {
+                "phase": serving.role.phase,
+                "applied_height": serving.server.batcher.last_height,
+                "lag_blocks": 0,
+                "connected": False,
+                "diverged": False,
+            }
+        return {
+            "phase": serving.role.phase,
+            "applied_height": replica.applied_height,
+            "primary_height": replica.primary_height,
+            "lag_blocks": replica.lag_blocks,
+            "connected": replica.connected,
+            "diverged": replica.diverged,
+            "last_error": replica.last_error,
+        }
+
+    async def _admin_promote(
+        self,
+        shard_id: int,
+        height: int,
+        root_hex: str,
+        manifest_data: Optional[dict],
+        timeout: float,
+    ) -> dict:
+        """Phase 4 (target): become the shard's primary.
+
+        Waits until the applier has applied (and root-verified) the
+        source's cutover height, then swaps the replica server for a
+        WAL-enabled primary on the *same engine, same WAL, same port* —
+        the replica WAL already holds every applied batch, so the
+        promoted server's ordinary ``replay_wal`` recovery path covers a
+        crash at any point after this returns.
+        """
+        serving = self._serving(shard_id)
+        replica = serving.server.replica
+        if replica is None:
+            raise StorageError(f"shard {shard_id} is not in catch-up here")
+        serving.role.phase = "promoting"
+        deadline = time.monotonic() + timeout
+        while replica.applied_height < height:
+            if replica.diverged:
+                raise StorageError(
+                    f"cannot promote diverged shard {shard_id}: "
+                    f"{replica.last_error}"
+                )
+            if time.monotonic() > deadline:
+                raise StorageError(
+                    f"shard {shard_id} catch-up stalled at height "
+                    f"{replica.applied_height} < cutover {height}"
+                )
+            await asyncio.sleep(0.01)
+        if (
+            replica.applied_height == height
+            and replica.last_root is not None
+            and replica.last_root.hex() != root_hex
+        ):
+            raise StorageError(
+                f"shard {shard_id} root mismatch at cutover height {height}"
+            )
+        host, port = serving.server.host, serving.server.port
+        await serving.server.stop()
+        if serving.wal.sync_policy != "none":
+            serving.wal.sync()
+        if manifest_data is not None:
+            self._set_manifest(manifest_data)
+        serving.replica_source = None
+        del self.shards[shard_id]
+        promoted = await self._start_shard_primary(
+            shard_id,
+            address=f"{host}:{port}",
+            engine=serving.engine,
+            wal=serving.wal,
+        )
+        return {
+            "address": promoted.address,
+            "height": promoted.server.batcher.last_height,
+        }
+
+
+class NodeThread:
+    """A :class:`ClusterNode` on its own event-loop thread.
+
+    The in-process deployment shape for tests and the demo — the cluster
+    analogue of :class:`~repro.server.ServerThread`.  ``start`` blocks
+    until every port is bound; all interaction afterwards goes through
+    real sockets (data, CLUSTER, ADMIN), never cross-thread calls.
+    """
+
+    def __init__(self, node: ClusterNode) -> None:
+        self.node = node
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self) -> Tuple[str, int]:
+        if self._thread is not None and self._thread.is_alive():
+            return self.node.control_host, self.node.control_port
+        self._thread = threading.Thread(
+            target=self._run, name=f"cluster-{self.node.name}", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self.node.control_host, self.node.control_port
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self.node.start())
+        except BaseException as exc:
+            self._startup_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        try:
+            loop.run_forever()
+            loop.run_until_complete(self.node.stop())
+        finally:
+            loop.close()
+
+    def stop(self) -> None:
+        loop, thread = self._loop, self._thread
+        if loop is None or thread is None:
+            return
+        if thread.is_alive():
+            loop.call_soon_threadsafe(loop.stop)
+        thread.join()
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "NodeThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

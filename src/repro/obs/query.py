@@ -71,12 +71,11 @@ class QueryTarget:
 
     def call(self, fn):
         """Run ``fn(client)`` (async) against the live server."""
-        host, port = self.server
 
         async def go():
-            from repro.server.client import ServerClient
+            from repro.server.client import connect
 
-            async with ServerClient(host, port) as client:
+            async with connect(self.server) as client:
                 return await fn(client)
 
         return asyncio.run(go())

@@ -20,11 +20,20 @@ A WAL-enabled server is also a replication primary — live replicas
 (``repro serve --replica-of``) tail its record stream and serve reads,
 with :class:`ReplicatedClient` fanning reads across them (Figure 19;
 ``tests/test_replication.py``; see :mod:`repro.replication`).
+
+Client code holds one interface regardless of topology: :func:`connect`
+returns a :class:`KVClient` — a :class:`ServerClient` for one server, a
+:class:`ReplicatedClient` for a replica set, or the manifest-routed
+``ClusterClient`` (see :mod:`repro.cluster`) when given cluster
+arguments.  Servers that must not answer a request refer the client with
+a :class:`Referral` (``NOT_PRIMARY`` to the primary, ``MOVED`` to a
+migrated shard's new owner), and every client follows them
+transparently.
 """
 
 from repro.server.batcher import WriteBatcher
 from repro.server.cache import VersionedReadCache
-from repro.server.client import ReplicatedClient, ServerClient
+from repro.server.client import KVClient, ReplicatedClient, ServerClient, connect
 from repro.server.loadgen import (
     LoadgenParams,
     LoadReport,
@@ -34,7 +43,14 @@ from repro.server.loadgen import (
     run_loadgen,
     run_loadgen_sync,
 )
-from repro.server.protocol import NotPrimaryError, Op, RootInfo, Status
+from repro.server.protocol import (
+    MovedError,
+    NotPrimaryError,
+    Op,
+    Referral,
+    RootInfo,
+    Status,
+)
 from repro.server.server import ColeServer, ServerConfig, ServerThread
 
 __all__ = [
@@ -43,12 +59,16 @@ __all__ = [
     "ServerThread",
     "ServerClient",
     "ReplicatedClient",
+    "KVClient",
+    "connect",
     "WriteBatcher",
     "VersionedReadCache",
     "Op",
     "Status",
     "RootInfo",
+    "Referral",
     "NotPrimaryError",
+    "MovedError",
     "LoadgenParams",
     "LoadReport",
     "client_ops",

@@ -13,17 +13,93 @@ primary (following ``NOT_PRIMARY`` redirects), reads fan out round-robin
 across the replica set with the primary as fallback, and
 :meth:`ReplicatedClient.refresh_lag` sidelines replicas lagging more
 than ``max_lag`` blocks behind the primary.
+
+Every client shape — single server, replica set, cluster — implements
+the one :class:`KVClient` interface, and :func:`connect` is the factory
+that picks the shape from its arguments.  Callers (loadgen, benchmarks,
+``repro query -s``, examples) hold a ``KVClient`` and never special-case
+the class behind it.
 """
 
 from __future__ import annotations
 
 import asyncio
 from collections import deque
-from typing import Deque, List, Optional, Sequence, Tuple
+from typing import Deque, List, Optional, Sequence, Tuple, Union
 
 from repro.common.errors import StorageError
 from repro.server import protocol
-from repro.server.protocol import NotPrimaryError, Op, RootInfo
+from repro.server.protocol import Referral, Op, RootInfo
+
+
+class KVClient:
+    """The one client interface every serving topology implements.
+
+    ``connect()`` / ``close()`` bracket the session (or use ``async
+    with``); between them the data plane is ``get / put / get_at /
+    multi_get / multi_put / scan / prov`` and the control plane is
+    ``root / flush / stats / metrics``.  Subclasses differ only in
+    *routing* — which server a request reaches — never in semantics.
+    """
+
+    async def connect(self) -> "KVClient":
+        raise NotImplementedError
+
+    async def close(self) -> None:
+        raise NotImplementedError
+
+    async def __aenter__(self) -> "KVClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    # -- data plane -----------------------------------------------------------
+
+    async def put(self, addr: bytes, value: bytes) -> int:
+        raise NotImplementedError
+
+    async def get(self, addr: bytes) -> Optional[bytes]:
+        raise NotImplementedError
+
+    async def get_at(self, addr: bytes, blk: int) -> Optional[bytes]:
+        raise NotImplementedError
+
+    async def multi_get(self, addrs: Sequence[bytes]) -> List[Optional[bytes]]:
+        raise NotImplementedError
+
+    async def multi_put(self, items: Sequence[Tuple[bytes, bytes]]) -> int:
+        raise NotImplementedError
+
+    async def prov(
+        self, addr: bytes, blk_low: int, blk_high: int
+    ) -> Tuple[object, bytes]:
+        raise NotImplementedError
+
+    async def scan(
+        self,
+        addr_low: bytes,
+        addr_high: bytes,
+        *,
+        at_blk: Optional[int] = None,
+        limit: Optional[int] = None,
+        page_size: int = 0,
+    ) -> List[Tuple[bytes, int, bytes]]:
+        raise NotImplementedError
+
+    # -- control plane --------------------------------------------------------
+
+    async def root(self) -> RootInfo:
+        raise NotImplementedError
+
+    async def flush(self) -> RootInfo:
+        raise NotImplementedError
+
+    async def stats(self) -> dict:
+        raise NotImplementedError
+
+    async def metrics(self) -> str:
+        raise NotImplementedError
 
 
 class _Connection:
@@ -110,7 +186,7 @@ class _Connection:
                 pass
 
 
-class ServerClient:
+class ServerClient(KVClient):
     """Typed ops over a pool of pipelined connections."""
 
     def __init__(self, host: str, port: int, pool_size: int = 1) -> None:
@@ -274,14 +350,14 @@ class ServerClient:
 
 
 def _parse_addr(addr: str) -> Tuple[str, int]:
-    """``host:port`` -> ``(host, port)`` (the NOT_PRIMARY payload shape)."""
+    """``host:port`` -> ``(host, port)`` (the referral payload shape)."""
     host, _, port = addr.rpartition(":")
     if not host or not port.isdigit():
         raise StorageError(f"malformed primary address {addr!r}")
     return host, int(port)
 
 
-class ReplicatedClient:
+class ReplicatedClient(KVClient):
     """Reads fanned across replicas, writes routed to the primary.
 
     ``replicas`` lists read-serving replica addresses; reads round-robin
@@ -433,11 +509,13 @@ class ReplicatedClient:
     async def _on_primary(self, issue):
         try:
             return await issue(self.primary)
-        except NotPrimaryError as exc:
-            # The configured primary is a replica: follow its referral.
+        except Referral as exc:
+            # The configured primary is a replica (NOT_PRIMARY) or the
+            # shard has moved (MOVED): either way the rejection names
+            # the server that will accept the write — follow it.
             self.redirects += 1
             redirected = ServerClient(
-                *_parse_addr(exc.primary), pool_size=self.pool_size
+                *_parse_addr(exc.address), pool_size=self.pool_size
             )
             await redirected.connect()
             stale, self._primary = self._primary, redirected
@@ -465,6 +543,10 @@ class ReplicatedClient:
         """The primary's STATS."""
         return await self._on_primary(lambda client: client.stats())
 
+    async def metrics(self) -> str:
+        """The primary's metrics exposition."""
+        return await self._on_primary(lambda client: client.metrics())
+
     # -- replica health -------------------------------------------------------
 
     async def replica_roots(self) -> List[RootInfo]:
@@ -491,3 +573,73 @@ class ReplicatedClient:
                 lagging.add(index)
         self._lagging = lagging
         return lags
+
+
+Target = Union[str, Tuple[str, int]]
+
+
+def _to_addr(target: Target) -> Tuple[str, int]:
+    """Accept ``"host:port"`` or ``(host, port)``; return the tuple."""
+    if isinstance(target, str):
+        return _parse_addr(target)
+    host, port = target
+    return host, int(port)
+
+
+def connect(
+    target: Optional[Target] = None,
+    *,
+    replicas: Sequence[Target] = (),
+    manifest: object = None,
+    manifest_file: Optional[str] = None,
+    seeds: Sequence[Target] = (),
+    pool_size: int = 1,
+    max_lag: Optional[int] = None,
+    read_primary: bool = True,
+) -> KVClient:
+    """Build the right :class:`KVClient` for the serving topology.
+
+    The factory — not the caller — picks the client class:
+
+    * cluster arguments (``manifest``, ``manifest_file``, or ``seeds``)
+      select the manifest-routed ``ClusterClient``;
+    * ``replicas`` (with ``target`` as the primary) selects
+      :class:`ReplicatedClient`;
+    * a bare ``target`` selects the single-server :class:`ServerClient`.
+
+    Targets are ``"host:port"`` strings or ``(host, port)`` tuples.  The
+    returned client is *not yet connected*: use ``async with
+    connect(...) as client`` or ``await connect(...).connect()``.
+    """
+    cluster_args = manifest is not None or manifest_file or seeds
+    if cluster_args:
+        if target is not None or replicas:
+            raise StorageError(
+                "connect(): cluster arguments (manifest/manifest_file/seeds) "
+                "are exclusive with target/replicas"
+            )
+        # Imported lazily: repro.cluster depends on this module.
+        from repro.cluster.client import ClusterClient
+
+        seed_addrs = tuple(
+            seed if isinstance(seed, str) else "%s:%d" % _to_addr(seed)
+            for seed in seeds
+        )
+        return ClusterClient(
+            manifest=manifest,
+            manifest_file=manifest_file,
+            seeds=seed_addrs,
+            pool_size=pool_size,
+        )
+    if target is None:
+        raise StorageError("connect() needs a target or cluster arguments")
+    if replicas:
+        return ReplicatedClient(
+            _to_addr(target),
+            [_to_addr(replica) for replica in replicas],
+            pool_size=pool_size,
+            max_lag=max_lag,
+            read_primary=read_primary,
+        )
+    host, port = _to_addr(target)
+    return ServerClient(host, port, pool_size=pool_size)

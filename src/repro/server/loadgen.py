@@ -34,8 +34,8 @@ from typing import List, Optional, Tuple
 
 from repro.common.hashing import hash_bytes
 from repro.obs import LatencyHistogram
-from repro.server.client import ServerClient
-from repro.server.protocol import NotPrimaryError
+from repro.server.client import KVClient, connect
+from repro.server.protocol import Referral
 from repro.workloads.ycsb import YCSBGenerator, ZipfGenerator
 
 #: One op: ("get", addr, None), ("put", addr, value),
@@ -314,7 +314,7 @@ class LoadReport:
         }
 
 
-async def _issue(client: ServerClient, op: ClientOp):
+async def _issue(client: KVClient, op: ClientOp):
     kind, addr, extra = op
     if kind == "get":
         return await client.get(addr)
@@ -328,9 +328,9 @@ async def _issue(client: ServerClient, op: ClientOp):
 
 
 async def _closed_worker(
-    host: str, port: int, ops: List[ClientOp], report: LoadReport
+    client_factory, ops: List[ClientOp], report: LoadReport
 ) -> None:
-    async with ServerClient(host, port) as client:
+    async with client_factory() as client:
         for op in ops:
             started = time.perf_counter()
             try:
@@ -342,13 +342,12 @@ async def _closed_worker(
 
 
 async def _open_worker(
-    host: str,
-    port: int,
+    client_factory,
     ops: List[ClientOp],
     interval: float,
     report: LoadReport,
 ) -> None:
-    async with ServerClient(host, port) as client:
+    async with client_factory() as client:
         loop = asyncio.get_running_loop()
         started = loop.time()
         inflight: List[asyncio.Task] = []
@@ -372,38 +371,60 @@ async def _open_worker(
             await asyncio.gather(*inflight)
 
 
-async def run_loadgen(host: str, port: int, params: LoadgenParams) -> LoadReport:
-    """Drive the server with ``params.clients`` concurrent clients.
+async def run_loadgen(
+    host: Optional[str],
+    port: Optional[int],
+    params: LoadgenParams,
+    client_factory=None,
+) -> LoadReport:
+    """Drive the target with ``params.clients`` concurrent clients.
+
+    ``client_factory`` (a zero-arg callable returning an *unconnected*
+    :class:`~repro.server.client.KVClient`) decides the topology: the
+    default connects to ``(host, port)``, and passing a factory built
+    over :func:`~repro.server.client.connect` drives a replica set or a
+    whole cluster through the exact same op streams — the generator
+    never special-cases the client class.
 
     Finishes with a forced group commit (so the run's writes are
     committed) and a STATS snapshot attached to the report.
     """
+    if client_factory is None:
+        if host is None or port is None:
+            raise ValueError("run_loadgen needs (host, port) or a client_factory")
+        client_factory = lambda: connect((host, port))  # noqa: E731
     report = LoadReport(mode=params.mode, clients=params.clients)
     streams = [client_ops(params, cid) for cid in range(params.clients)]
     started = time.perf_counter()
     if params.mode == "closed":
         workers = [
-            _closed_worker(host, port, stream, report) for stream in streams
+            _closed_worker(client_factory, stream, report) for stream in streams
         ]
     else:
         interval = params.clients / params.rate  # per-client inter-arrival
         workers = [
-            _open_worker(host, port, stream, interval, report) for stream in streams
+            _open_worker(client_factory, stream, interval, report)
+            for stream in streams
         ]
     await asyncio.gather(*workers)
     report.elapsed_s = time.perf_counter() - started
-    async with ServerClient(host, port) as control:
+    async with client_factory() as control:
         try:
             await control.flush()
-        except NotPrimaryError:
+        except Referral:
             pass  # a replica target: its commits arrive via the stream
         report.server_stats = await control.stats()
     return report
 
 
-def run_loadgen_sync(host: str, port: int, params: LoadgenParams) -> LoadReport:
+def run_loadgen_sync(
+    host: Optional[str],
+    port: Optional[int],
+    params: LoadgenParams,
+    client_factory=None,
+) -> LoadReport:
     """Blocking wrapper around :func:`run_loadgen` (CLI entry point)."""
-    return asyncio.run(run_loadgen(host, port, params))
+    return asyncio.run(run_loadgen(host, port, params, client_factory))
 
 
 def format_report(report: LoadReport) -> str:

@@ -71,10 +71,24 @@ sequence of OK frames, each carrying exactly one raw WAL record
 them.  A server that cannot serve the stream answers the subscribe with
 an ERROR frame instead (replicas answer ``NOT_PRIMARY``).
 
-``NOT_PRIMARY`` is the write-rejection status of replica servers: its
-payload is the primary's ``host:port`` so a client can redirect.  The
-decoder raises it as :class:`NotPrimaryError` (the address parsed out)
-rather than a bare :class:`~repro.common.errors.StorageError`.
+``NOT_PRIMARY`` and ``MOVED`` are the two **referral** statuses: the
+server cannot answer, but it knows who can.  ``NOT_PRIMARY`` is the
+write rejection of replica servers (payload: the primary's
+``host:port``); ``MOVED`` is the cluster rejection of a server that no
+longer owns the requested shard (payload: ``u64 manifest_epoch``,
+``u16 shard_id``, then the new owner's ``host:port``).  Both decode in
+one place — :func:`check_status` — into subclasses of one
+:class:`Referral` error carrying ``(reason, address, manifest_epoch,
+shard_id)``, so every client handles redirection through a single type
+instead of per-call-site status checks.
+
+``CLUSTER`` asks any cluster member for its current manifest (JSON,
+utf-8) — the same document the static manifest file holds — so clients
+can bootstrap from one seed address and refresh after a ``MOVED``.
+``ADMIN`` carries a JSON command blob to a cluster node's control
+server (snapshot / adopt / cutover / promote / status...); keeping the
+admin surface inside one opcode means migrations evolve without
+touching the wire format again.
 
 ``PROV`` responses carry the engine's full provenance result (values,
 boundary version, and the authentication proof) as a pickle blob so the
@@ -128,6 +142,8 @@ class Op:
     MULTI_GET = 10
     MULTI_PUT = 11
     METRICS = 12
+    CLUSTER = 13
+    ADMIN = 14
 
 
 class Status:
@@ -137,15 +153,55 @@ class Status:
     NOT_FOUND = 1
     ERROR = 2
     NOT_PRIMARY = 3
+    MOVED = 4
 
 
-class NotPrimaryError(StorageError):
+class Referral(StorageError):
+    """The server cannot answer, but named who can.
+
+    One error type covers every redirection the protocol knows:
+    ``NOT_PRIMARY`` (a replica naming its primary) and ``MOVED`` (a
+    cluster server naming a shard's new owner).  ``address`` is always
+    the ``host:port`` to retry against; ``manifest_epoch`` / ``shard_id``
+    are only meaningful for MOVED (0 / ``None`` otherwise).
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        address: str,
+        manifest_epoch: int = 0,
+        shard_id: Optional[int] = None,
+    ) -> None:
+        super().__init__(f"{reason}; retry at {address}")
+        self.reason = reason
+        self.address = address
+        self.manifest_epoch = manifest_epoch
+        self.shard_id = shard_id
+
+
+class NotPrimaryError(Referral):
     """A write (or subscribe) hit a replica; redirect to ``primary``."""
 
     def __init__(self, primary: str) -> None:
-        super().__init__(f"not the primary; writes go to {primary}")
-        #: ``host:port`` of the primary the replica follows.
-        self.primary = primary
+        super().__init__("not the primary; writes go to the primary", primary)
+
+    @property
+    def primary(self) -> str:
+        """``host:port`` of the primary the replica follows (legacy name)."""
+        return self.address
+
+
+class MovedError(Referral):
+    """The shard moved to a new owner; refresh the manifest and retry."""
+
+    def __init__(self, address: str, manifest_epoch: int, shard_id: int) -> None:
+        super().__init__(
+            f"shard {shard_id} moved (manifest epoch {manifest_epoch})",
+            address,
+            manifest_epoch,
+            shard_id,
+        )
 
 
 @dataclass(frozen=True)
@@ -280,8 +336,16 @@ def encode_multi_put(items: List[Tuple[bytes, bytes]]) -> bytes:
 
 
 def encode_simple(op: int) -> bytes:
-    """ROOT / STATS / FLUSH / METRICS — opcode-only requests."""
+    """ROOT / STATS / FLUSH / METRICS / CLUSTER — opcode-only requests."""
     return encode_frame(bytes([op]))
+
+
+def encode_admin(payload: dict) -> bytes:
+    """One ADMIN request: a JSON command blob for a cluster control server."""
+    import json
+
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return encode_frame(bytes([Op.ADMIN]) + pack_bytes32(blob))
 
 
 def encode_repl_subscribe(start_height: int) -> bytes:
@@ -317,7 +381,9 @@ def decode_request(body: bytes) -> Tuple[int, tuple]:
         return op, (items,)
     if op == Op.REPL_SUBSCRIBE:
         return op, (cursor.u64(),)
-    if op in (Op.ROOT, Op.STATS, Op.FLUSH, Op.METRICS):
+    if op == Op.ADMIN:
+        return op, (cursor.bytes32(),)
+    if op in (Op.ROOT, Op.STATS, Op.FLUSH, Op.METRICS, Op.CLUSTER):
         return op, ()
     raise StorageError(f"unknown opcode {op}")
 
@@ -341,6 +407,21 @@ def encode_error(message: str) -> bytes:
 def encode_not_primary(primary: str) -> bytes:
     """Replica write rejection; payload is the primary's ``host:port``."""
     return encode_frame(bytes([Status.NOT_PRIMARY]) + primary.encode("utf-8"))
+
+
+def encode_moved(address: str, manifest_epoch: int, shard_id: int) -> bytes:
+    """Cluster referral: the shard now lives at ``address``.
+
+    The epoch lets clients discard stale manifests monotonically; the
+    shard id lets them patch a single routing entry without a full
+    manifest refresh.
+    """
+    return encode_frame(
+        bytes([Status.MOVED])
+        + _U64.pack(manifest_epoch)
+        + _U16.pack(shard_id)
+        + address.encode("utf-8")
+    )
 
 
 def encode_value_response(value: Optional[bytes]) -> bytes:
@@ -368,7 +449,12 @@ def encode_blob_response(blob: bytes) -> bytes:
 
 
 def check_status(cursor: Cursor) -> int:
-    """Consume the status byte; raises on ERROR / NOT_PRIMARY frames."""
+    """Consume the status byte; raises on ERROR and referral frames.
+
+    This is the *single* decode point for referrals: every response
+    decoder funnels through here, so NOT_PRIMARY and MOVED surface as
+    :class:`Referral` subclasses uniformly across all ops.
+    """
     status = cursor.u8()
     if status == Status.ERROR:
         raise StorageError(
@@ -376,6 +462,12 @@ def check_status(cursor: Cursor) -> int:
         )
     if status == Status.NOT_PRIMARY:
         raise NotPrimaryError(cursor.data[cursor.pos:].decode("utf-8", "replace"))
+    if status == Status.MOVED:
+        epoch = cursor.u64()
+        shard_id = cursor.u16()
+        raise MovedError(
+            cursor.data[cursor.pos:].decode("utf-8", "replace"), epoch, shard_id
+        )
     return status
 
 
@@ -406,6 +498,13 @@ def decode_blob_response(body: bytes) -> bytes:
 
 def decode_prov_response(body: bytes) -> object:
     return pickle.loads(decode_blob_response(body))
+
+
+def decode_json_response(body: bytes) -> dict:
+    """STATS / CLUSTER / ADMIN responses: a JSON blob."""
+    import json
+
+    return json.loads(decode_blob_response(body).decode("utf-8"))
 
 
 def encode_multi_get_response(values: List[Optional[bytes]]) -> bytes:

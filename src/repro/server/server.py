@@ -83,6 +83,8 @@ OP_NAMES = {
     Op.MULTI_GET: "multi_get",
     Op.MULTI_PUT: "multi_put",
     Op.METRICS: "metrics",
+    Op.CLUSTER: "cluster",
+    Op.ADMIN: "admin",
 }
 
 
@@ -200,6 +202,8 @@ class ColeServer:
         config: Optional[ServerConfig] = None,
         wal=None,
         replica_of: Optional[Tuple[str, int]] = None,
+        cluster=None,
+        replica_wal=None,
     ) -> None:
         """Wrap ``engine`` (a ``Cole`` or ``ShardedCole``); ``port=0``
         binds an ephemeral port (reported by :meth:`start`).
@@ -214,13 +218,26 @@ class ColeServer:
         ``replica_of`` makes this server a read-only *replica* of the
         primary at ``(host, port)``; replicas keep no WAL of their own
         (their recovery source is the primary's stream), so the two
-        options are mutually exclusive.
+        options are mutually exclusive.  ``replica_wal`` is the cluster
+        migration exception: a *local* WAL the applier mirrors every
+        applied batch into, so a catch-up replica that is about to be
+        promoted to primary can recover from its own disk — the promoted
+        server then reuses the same WAL through the ordinary ``wal=``
+        recovery path.
+
+        ``cluster`` (a :class:`~repro.cluster.node.ShardRole`, duck-
+        typed) makes this server one shard of a cluster: its
+        ``referral_for`` hook is consulted before every dispatch and may
+        answer ``MOVED`` instead (mid-migration cutover, or a key the
+        shard does not own), and ``Op.CLUSTER`` serves its manifest.
         """
         if replica_of is not None and wal is not None:
             raise ValueError(
                 "a replica keeps no WAL of its own; recovery re-streams "
                 "from the primary"
             )
+        if replica_wal is not None and replica_of is None:
+            raise ValueError("replica_wal only applies to a replica server")
         self.engine = engine
         self.host = host
         self.port = port
@@ -229,6 +246,8 @@ class ColeServer:
         self.wal_syncer: Optional[_WalSyncer] = None
         self.replay_stats = None  # ReplayStats once start() recovered
         self.replica_of = replica_of
+        self.replica_wal = replica_wal
+        self.cluster = cluster
         self.replica = None  # ReplicaApplier in replica mode
         self.hub = None  # ReplicationHub on a WAL-enabled primary
         self._replica_task: Optional[asyncio.Task] = None
@@ -283,7 +302,9 @@ class ColeServer:
         if self.replica_of is not None:
             from repro.replication import ReplicaApplier
 
-            self.replica = ReplicaApplier(self, *self.replica_of)
+            self.replica = ReplicaApplier(
+                self, *self.replica_of, wal=self.replica_wal
+            )
             self._replica_task = asyncio.get_running_loop().create_task(
                 self.replica.run()
             )
@@ -436,6 +457,16 @@ class ColeServer:
         hist.observe(elapsed)
 
     async def _dispatch(self, op: int, args: tuple) -> bytes:
+        if self.cluster is not None:
+            # The cluster role may refer this request elsewhere (MOVED):
+            # this check and the batcher insert below share one
+            # synchronous dispatch, which is what makes the migration
+            # cutover lossless — once the role flips to moved, no write
+            # can slip in and ack here.
+            referral = self.cluster.referral_for(op, args)
+            if referral is not None:
+                self.op_counts[OP_NAMES.get(op, "cluster")] += 1
+                return referral
         if op in (Op.PUT, Op.MULTI_PUT, Op.FLUSH) and self.replica is not None:
             self.op_counts[
                 {Op.PUT: "put", Op.MULTI_PUT: "multi_put", Op.FLUSH: "flush"}[op]
@@ -491,6 +522,18 @@ class ColeServer:
             root, height = await self.batcher.flush()
             return protocol.encode_root_response(
                 RootInfo(digest=root, version=self.version, height=height)
+            )
+        if op == Op.CLUSTER:
+            self.op_counts["cluster"] += 1
+            if self.cluster is None:
+                return protocol.encode_error(
+                    "this server is not a cluster member"
+                )
+            return protocol.encode_blob_response(self.cluster.manifest_json())
+        if op == Op.ADMIN:
+            self.op_counts["admin"] += 1
+            return protocol.encode_error(
+                "ADMIN is answered by the node control port, not a shard server"
             )
         return protocol.encode_error(f"unknown opcode {op}")
 
@@ -784,6 +827,8 @@ class ColeServer:
             if self.replay_stats is not None:
                 stats["wal"]["replayed_blocks"] = self.replay_stats.blocks_replayed
                 stats["wal"]["replayed_puts"] = self.replay_stats.puts_replayed
+        if self.cluster is not None:
+            stats["cluster"] = self.cluster.stats()
         if self.replica is not None:
             stats["replication"] = self.replica.stats()
         elif self.hub is not None:
@@ -962,6 +1007,8 @@ class ColeServer:
                 "repro_replication_records_shipped_total",
                 help="WAL records shipped to replicas",
             ).set(self.hub.records_shipped)
+        if self.cluster is not None:
+            self.cluster.record_metrics(registry)
         return registry.expose()
 
 
@@ -983,9 +1030,18 @@ class ServerThread:
         config: Optional[ServerConfig] = None,
         wal=None,
         replica_of: Optional[Tuple[str, int]] = None,
+        cluster=None,
+        replica_wal=None,
     ) -> None:
         self.server = ColeServer(
-            engine, host, port, config, wal=wal, replica_of=replica_of
+            engine,
+            host,
+            port,
+            config,
+            wal=wal,
+            replica_of=replica_of,
+            cluster=cluster,
+            replica_wal=replica_wal,
         )
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
