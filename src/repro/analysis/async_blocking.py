@@ -1,0 +1,152 @@
+"""async-blocking-call: no synchronous IO on the event loop.
+
+The serving design runs **all** blocking engine work on the thread-pool
+executor (``ColeServer._run``); the event loop only parses frames and
+awaits futures.  One stray ``fsync`` or gate acquisition inside an
+``async def`` stalls every connection on the server — and nothing
+crashes, it just gets slow, which is why this must be a lint rule and
+not a code review hope.
+
+Scope: ``async def`` bodies in ``server/``, ``cluster/`` and
+``replication/``.  Nested *sync* defs and lambdas inside an async body
+are skipped — they are the executor thunks themselves.  Flagged calls:
+
+* known blocking module calls (``os.pread``/``pwrite``/``fsync``/...,
+  ``time.sleep``, ``open``, blocking ``socket`` constructors);
+* any CommitGate method on an attribute named ``gate``;
+* constructors that do recovery IO (``Cole``, ``ShardedCole``,
+  ``WriteAheadLog``, ``PagedFile``);
+* gated engine methods called on a receiver named ``engine`` and WAL
+  methods (append/sync/close) on a receiver named ``wal`` — these block
+  on the gate or on file IO respectively.
+
+The sanctioned escape is an executor hop: passing the bound method to
+``run_in_executor``/``to_thread`` (or ``self._run``) is not a call and
+is never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.analysis.base import Checker, Finding, SourceFile, SourceTree, dotted_name
+
+RULE = "async-blocking-call"
+
+SCOPES = ("server/", "cluster/", "replication/")
+
+BLOCKING_CALLS = {
+    "open",
+    "time.sleep",
+    "os.pread",
+    "os.pwrite",
+    "os.read",
+    "os.write",
+    "os.fsync",
+    "os.fdatasync",
+    "os.open",
+    "os.sendfile",
+    "os.makedirs",
+    "os.replace",
+    "socket.socket",
+    "socket.create_connection",
+}
+
+BLOCKING_CONSTRUCTORS = {"Cole", "ShardedCole", "WriteAheadLog", "PagedFile"}
+
+GATE_METHODS = {
+    "shared",
+    "exclusive",
+    "acquire_shared",
+    "acquire_exclusive",
+    "release_shared",
+    "release_exclusive",
+}
+
+#: Public engine entry points that take the CommitGate (or join merge
+#: threads, for ``close``/``wait_for_merges``).
+ENGINE_METHODS = {
+    "get",
+    "get_at",
+    "get_many",
+    "put",
+    "put_many",
+    "scan",
+    "prov_query",
+    "prov_query_anchored",
+    "begin_block",
+    "commit_block",
+    "rewind_to",
+    "root_digest",
+    "storage_bytes",
+    "root_hash_list",
+    "shard_roots",
+    "close",
+    "wait_for_merges",
+}
+
+#: WAL methods that hit the filesystem (append = write syscall,
+#: sync = fsync, close = flush + fsync).
+WAL_METHODS = {"append_put", "append_puts", "append_commit", "sync", "close"}
+
+
+def _classify(call: ast.Call) -> Optional[str]:
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    if name in BLOCKING_CALLS:
+        return f"blocking call {name}()"
+    if name in BLOCKING_CONSTRUCTORS:
+        return f"{name}() constructor does recovery/file IO"
+    parts = name.split(".")
+    if len(parts) >= 2:
+        receiver, method = parts[-2], parts[-1]
+        if receiver == "gate" and method in GATE_METHODS:
+            return f"CommitGate.{method}() blocks the loop"
+        if receiver == "engine" and method in ENGINE_METHODS:
+            return f"engine.{method}() takes the CommitGate"
+        if receiver == "wal" and method in WAL_METHODS:
+            return f"wal.{method}() does file IO"
+    return None
+
+
+class AsyncBlockingChecker(Checker):
+    rule = RULE
+
+    def run(self, tree: SourceTree) -> List[Finding]:
+        findings: List[Finding] = []
+        for src in tree.under(*SCOPES):
+            self._check_file(src, findings)
+        return findings
+
+    def _check_file(self, src: SourceFile, findings: List[Finding]) -> None:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            self._check_async_def(src, node, findings)
+
+    def _check_async_def(
+        self, src: SourceFile, fn: ast.AsyncFunctionDef, findings: List[Finding]
+    ) -> None:
+        def visit(node: ast.AST) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+                ):
+                    continue
+                if isinstance(child, ast.Call):
+                    reason = _classify(child)
+                    if reason is not None:
+                        findings.append(
+                            Finding(
+                                RULE,
+                                src.path,
+                                child.lineno,
+                                f"async def {fn.name}: {reason}; hop to the "
+                                "executor (run_in_executor / to_thread)",
+                            )
+                        )
+                visit(child)
+
+        visit(fn)

@@ -1,0 +1,123 @@
+"""Shared plumbing for the ``repro lint`` static checkers.
+
+Every checker is a small :mod:`ast` visitor over the parsed ``src/repro``
+tree (or a fixture tree in tests).  This module owns the pieces they
+share: loading and parsing the tree once, the :class:`Finding` record,
+and the per-line suppression syntax::
+
+    risky_call()  # repro-lint: disable=async-blocking-call
+
+A suppression comment names one or more rules (comma-separated) and
+silences findings **on that physical line only** — the runner drops a
+finding when its rule appears in the suppression set of its line.  Every
+suppression in the live tree is expected to carry a justification in the
+surrounding code.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Set
+
+SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\- ]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source line."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def parse_suppressions(text: str) -> Dict[int, Set[str]]:
+    """Map line number -> set of rule names disabled on that line."""
+    out: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = SUPPRESS_RE.search(line)
+        if match:
+            rules = {part.strip() for part in match.group(1).split(",")}
+            out[lineno] = {rule for rule in rules if rule}
+    return out
+
+
+@dataclass
+class SourceFile:
+    """One parsed module: path (posix, relative to the tree root), text,
+    AST, and its per-line suppression map."""
+
+    path: str
+    text: str
+    tree: ast.Module
+    suppressions: Dict[int, Set[str]]
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        return rule in self.suppressions.get(line, set())
+
+
+class SourceTree:
+    """The parsed file set one lint run operates on."""
+
+    def __init__(self, root: Path, files: List[SourceFile]) -> None:
+        self.root = root
+        self.files = files
+        self._by_path = {f.path: f for f in files}
+
+    def get(self, relpath: str) -> Optional[SourceFile]:
+        return self._by_path.get(relpath)
+
+    def under(self, *prefixes: str) -> List[SourceFile]:
+        """Files whose relative path starts with any of ``prefixes``."""
+        return [
+            f for f in self.files if any(f.path.startswith(p) for p in prefixes)
+        ]
+
+
+def load_tree(root: Path) -> SourceTree:
+    """Parse every ``.py`` file under ``root`` into a :class:`SourceTree`."""
+    files: List[SourceFile] = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        if "__pycache__" in rel:
+            continue
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+        files.append(SourceFile(rel, text, tree, parse_suppressions(text)))
+    return SourceTree(root, files)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class Checker:
+    """Base class: one rule, one pass over the tree."""
+
+    rule: str = ""
+
+    def run(self, tree: SourceTree) -> List[Finding]:
+        raise NotImplementedError

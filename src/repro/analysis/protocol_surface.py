@@ -1,0 +1,179 @@
+"""protocol-surface: every Op/Status lands everywhere it must.
+
+Adding a protocol op is an N-place edit: the ``Op`` member, an encode
+helper, the server dispatch branch, a client method, and (for statuses)
+the ``check_status`` referral decoder.  PR 8's ``MOVED`` plumbing
+touched all of them; forgetting one produces a server that silently
+answers ``ERROR unknown op`` or a client that cannot speak the op at
+all.  This rule makes the completeness mechanical:
+
+* every ``Op`` member must be referenced by at least one module-level
+  helper in ``server/protocol.py`` (its encode/decode path), appear in
+  ``server/server.py`` (the dispatch branch), and be *reachable from a
+  client*: a client file either references ``Op.X`` directly or calls
+  one of the protocol helpers that does;
+* every ``Status`` member must be referenced by a protocol helper, and
+  handled in ``check_status`` — except the success statuses (``OK``,
+  ``NOT_FOUND``) that helpers return to callers as values.
+
+The checker is driven entirely by the parsed ``Op``/``Status`` class
+bodies, so adding ``Op`` 15 with a missing client method turns CI red
+with three precise findings instead of a 2 a.m. page.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set
+
+from repro.analysis.base import Checker, Finding, SourceFile, SourceTree, dotted_name
+
+RULE = "protocol-surface"
+
+PROTOCOL_FILE = "server/protocol.py"
+SERVER_FILE = "server/server.py"
+#: Files that originate requests.  ``cluster/node.py`` is on the list
+#: because nodes are clients of their peers during migration (ADMIN).
+CLIENT_FILES = ("server/client.py", "cluster/client.py", "cluster/node.py")
+
+#: Statuses helpers return to the caller as data rather than raise in
+#: ``check_status`` (OK payloads and the GET miss encoding).
+SUCCESS_STATUSES = {"OK", "NOT_FOUND"}
+
+
+def _enum_members(src: SourceFile, class_name: str) -> Dict[str, int]:
+    """Member name -> definition line for ``class_name``'s int members."""
+    for node in ast.walk(src.tree):
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            out: Dict[str, int] = {}
+            for stmt in node.body:
+                if (
+                    isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and isinstance(stmt.value, ast.Constant)
+                    and isinstance(stmt.value.value, int)
+                ):
+                    out[stmt.targets[0].id] = stmt.lineno
+            return out
+    return {}
+
+
+def _member_refs(node: ast.AST, class_name: str) -> Set[str]:
+    """``X`` for every ``<class_name>.X`` attribute access under ``node``."""
+    out: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute):
+            name = dotted_name(sub)
+            if name is not None and name.startswith(class_name + "."):
+                out.add(name.split(".", 1)[1].split(".")[0])
+    return out
+
+
+def _helper_refs(src: SourceFile, class_name: str) -> Dict[str, Set[str]]:
+    """member -> names of module-level functions referencing it."""
+    out: Dict[str, Set[str]] = {}
+    for stmt in src.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for member in _member_refs(stmt, class_name):
+                out.setdefault(member, set()).add(stmt.name)
+    return out
+
+
+def _names_used(src: SourceFile) -> Set[str]:
+    """Every bare name and attribute name appearing in the module."""
+    out: Set[str] = set()
+    for node in ast.walk(src.tree):
+        if isinstance(node, ast.Name):
+            out.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            out.add(node.attr)
+    return out
+
+
+class ProtocolSurfaceChecker(Checker):
+    rule = RULE
+
+    def run(self, tree: SourceTree) -> List[Finding]:
+        protocol = tree.get(PROTOCOL_FILE)
+        if protocol is None:
+            return []
+        findings: List[Finding] = []
+        ops = _enum_members(protocol, "Op")
+        statuses = _enum_members(protocol, "Status")
+        op_helpers = _helper_refs(protocol, "Op")
+        status_helpers = _helper_refs(protocol, "Status")
+
+        server = tree.get(SERVER_FILE)
+        server_ops = (
+            _member_refs(server.tree, "Op") if server is not None else set()
+        )
+        client_names: Set[str] = set()
+        client_ops: Set[str] = set()
+        for path in CLIENT_FILES:
+            client = tree.get(path)
+            if client is not None:
+                client_names |= _names_used(client)
+                client_ops |= _member_refs(client.tree, "Op")
+
+        for member in sorted(ops):
+            line = ops[member]
+            helpers = op_helpers.get(member, set())
+            if not helpers:
+                findings.append(
+                    Finding(
+                        RULE,
+                        protocol.path,
+                        line,
+                        f"Op.{member}: no encode/decode helper in protocol.py "
+                        "references it",
+                    )
+                )
+            if server is not None and member not in server_ops:
+                findings.append(
+                    Finding(
+                        RULE,
+                        protocol.path,
+                        line,
+                        f"Op.{member}: no dispatch branch in {SERVER_FILE} "
+                        "references it",
+                    )
+                )
+            if client_names and member not in client_ops and not (
+                helpers & client_names
+            ):
+                findings.append(
+                    Finding(
+                        RULE,
+                        protocol.path,
+                        line,
+                        f"Op.{member}: unreachable from any client file "
+                        f"({', '.join(CLIENT_FILES)}) — no client method",
+                    )
+                )
+
+        check_status_refs: Set[str] = set()
+        for stmt in protocol.tree.body:
+            if isinstance(stmt, ast.FunctionDef) and stmt.name == "check_status":
+                check_status_refs = _member_refs(stmt, "Status")
+        for member in sorted(statuses):
+            line = statuses[member]
+            if member not in status_helpers:
+                findings.append(
+                    Finding(
+                        RULE,
+                        protocol.path,
+                        line,
+                        f"Status.{member}: no protocol helper references it",
+                    )
+                )
+            if member not in check_status_refs and member not in SUCCESS_STATUSES:
+                findings.append(
+                    Finding(
+                        RULE,
+                        protocol.path,
+                        line,
+                        f"Status.{member}: not handled in check_status()",
+                    )
+                )
+        return findings

@@ -442,6 +442,12 @@ def run_service_throughput(
         run_loadgen_sync,
     )
 
+    from repro.server.eventloop import install_event_loop_policy
+
+    # Record which loop flavor served the section — uvloop when the
+    # optional package is present, the stdlib loop otherwise — so rows
+    # from different machines stay comparable.
+    loop_name = install_event_loop_policy()
     rows: List[Row] = []
     for clients in client_counts:
         directory = fresh_dir()
@@ -480,6 +486,7 @@ def run_service_throughput(
                     "cache_hit_rate": report.cache_hit_rate,
                     "avg_batch": batcher.get("avg_batch", 0.0),
                     "commits": batcher.get("commits", 0),
+                    "event_loop": loop_name,
                 }
             )
         finally:

@@ -280,7 +280,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
         print(
             f"serving {args.workspace} on {host}:{port}{shards}{durability}"
-            f"{role} (Ctrl-C stops)",
+            f"{role} (loop={loop_name}; Ctrl-C stops)",
             flush=True,
         )
         try:
@@ -288,6 +288,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         finally:
             await server.stop()
 
+    from repro.server.eventloop import install_event_loop_policy
+
+    loop_name = install_event_loop_policy()
     try:
         asyncio.run(serve())
     except KeyboardInterrupt:
@@ -460,7 +463,7 @@ def cmd_cluster_serve(args: argparse.Namespace) -> int:
         print(
             f"serving {args.workspace} on {host}:{port} "
             f"(cluster node {args.node}, {len(node.shards)} shards, "
-            f"control; Ctrl-C stops)",
+            f"control, loop={loop_name}; Ctrl-C stops)",
             flush=True,
         )
         try:
@@ -468,6 +471,9 @@ def cmd_cluster_serve(args: argparse.Namespace) -> int:
         finally:
             await node.stop()
 
+    from repro.server.eventloop import install_event_loop_policy
+
+    loop_name = install_event_loop_policy()
     try:
         asyncio.run(serve())
     except KeyboardInterrupt:
@@ -545,6 +551,21 @@ def cmd_cluster_migrate(args: argparse.Namespace) -> int:
         f"rewrote {args.manifest}"
     )
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the invariant lint suite (``repro.analysis``) over the tree."""
+    from pathlib import Path
+
+    from repro.analysis import run_lint
+
+    root = Path(args.root) if args.root else None
+    report = run_lint(root=root)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    return 1 if report.findings else 0
 
 
 def cmd_query(args: argparse.Namespace) -> int:
@@ -803,6 +824,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster_migrate.add_argument("--timeout", type=float, default=60.0)
     cluster_migrate.set_defaults(func=cmd_cluster_migrate)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the invariant lint suite (gate discipline, async "
+        "blocking calls, protocol surface, error taxonomy)",
+    )
+    lint.add_argument(
+        "--root",
+        default=None,
+        help="tree to analyze (default: the installed repro package)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json is the machine-readable CI artifact)",
+    )
+    lint.set_defaults(func=cmd_lint)
 
     # The query group is click-based and parses its own arguments:
     # everything after "query" passes through untouched (add_help=False

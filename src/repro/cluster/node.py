@@ -269,18 +269,29 @@ class ClusterNode:
         from repro.wal import WriteAheadLog
 
         directory = os.path.join(self.workspace, shard_dirname(shard_id))
+        # Engine/WAL construction replays manifests and WAL tails from
+        # disk — executor work, never event-loop work.
+        loop = asyncio.get_running_loop()
         if engine is None:
-            os.makedirs(directory, exist_ok=True)
-            engine = Cole(
-                directory,
-                ColeParams(async_merge=True, mem_capacity=self.mem_capacity),
-            )
+
+            def _open_engine() -> "Cole":
+                os.makedirs(directory, exist_ok=True)
+                return Cole(
+                    directory,
+                    ColeParams(async_merge=True, mem_capacity=self.mem_capacity),
+                )
+
+            engine = await loop.run_in_executor(None, _open_engine)
         if wal is None:
-            wal = WriteAheadLog(
-                os.path.join(directory, "wal"),
-                num_shards=1,
-                sync_policy=self.wal_sync,
-            )
+
+            def _open_wal() -> "WriteAheadLog":
+                return WriteAheadLog(
+                    os.path.join(directory, "wal"),
+                    num_shards=1,
+                    sync_policy=self.wal_sync,
+                )
+
+            wal = await loop.run_in_executor(None, _open_wal)
         host, port = _parse_hostport(
             address or self.manifest.address_of(shard_id)
         )
@@ -294,8 +305,8 @@ class ClusterNode:
         try:
             await server.start()
         except BaseException:
-            wal.close()
-            engine.close()
+            await loop.run_in_executor(None, wal.close)
+            await loop.run_in_executor(None, engine.close)
             raise
         serving = _ShardServing(
             shard_id=shard_id,
@@ -314,16 +325,24 @@ class ClusterNode:
             self._control_server.close()
             await self._control_server.wait_closed()
             self._control_server = None
+        loop = asyncio.get_running_loop()
         for serving in list(self.shards.values()):
             await serving.server.stop()
-            try:
-                serving.wal.close()
-            except Exception:
-                pass
-            try:
-                serving.engine.close()
-            except Exception:
-                pass
+
+            def _close(serving: "_ShardServing" = serving) -> None:
+                # Best-effort shutdown: a close failure only costs disk
+                # (the WAL tail and run files replay on next open), and
+                # the remaining shards must still get their turn.
+                try:
+                    serving.wal.close()
+                except (StorageError, OSError):
+                    pass
+                try:
+                    serving.engine.close()
+                except (StorageError, OSError):
+                    pass
+
+            await loop.run_in_executor(None, _close)
         self.shards.clear()
 
     # -- control protocol -----------------------------------------------------
@@ -526,15 +545,22 @@ class ClusterNode:
         directory = os.path.join(self.workspace, shard_dirname(shard_id))
         loop = asyncio.get_running_loop()
         await loop.run_in_executor(None, restore_store, snapshot, directory)
-        engine = Cole(
-            directory,
-            ColeParams(async_merge=True, mem_capacity=self.mem_capacity),
-        )
-        wal = WriteAheadLog(
-            os.path.join(directory, "wal"),
-            num_shards=1,
-            sync_policy=self.wal_sync,
-        )
+
+        def _open_engine() -> "Cole":
+            return Cole(
+                directory,
+                ColeParams(async_merge=True, mem_capacity=self.mem_capacity),
+            )
+
+        def _open_wal() -> "WriteAheadLog":
+            return WriteAheadLog(
+                os.path.join(directory, "wal"),
+                num_shards=1,
+                sync_policy=self.wal_sync,
+            )
+
+        engine = await loop.run_in_executor(None, _open_engine)
+        wal = await loop.run_in_executor(None, _open_wal)
         await loop.run_in_executor(None, replay_wal, engine, wal)
         source_addr = _parse_hostport(source)
         host, _ = _parse_hostport(self.manifest.nodes[self.name])
@@ -552,8 +578,8 @@ class ClusterNode:
         try:
             await server.start()
         except BaseException:
-            wal.close()
-            engine.close()
+            await loop.run_in_executor(None, wal.close)
+            await loop.run_in_executor(None, engine.close)
             raise
         serving = _ShardServing(
             shard_id=shard_id,
@@ -634,7 +660,11 @@ class ClusterNode:
         host, port = serving.server.host, serving.server.port
         await serving.server.stop()
         if serving.wal.sync_policy != "none":
-            serving.wal.sync()
+            # The replica server (and its executor) is stopped; fsync on
+            # the default executor so the control loop stays responsive.
+            await asyncio.get_running_loop().run_in_executor(
+                None, serving.wal.sync
+            )
         if manifest_data is not None:
             self._set_manifest(manifest_data)
         serving.replica_source = None

@@ -26,17 +26,27 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Iterator, Optional
+
+from repro.common.debuglock import debug_locks_enabled, track_acquire, track_release
 
 
 class CommitGate:
-    """Shared/exclusive gate between queries and commit checkpoints."""
+    """Shared/exclusive gate between queries and commit checkpoints.
 
-    def __init__(self) -> None:
+    ``name`` labels the gate's lock *class* in the ``REPRO_DEBUG_LOCKS``
+    order graph (see :mod:`repro.common.debuglock`); shared and
+    exclusive holds both count as "holding" for ordering purposes.
+    Tracking is resolved once at construction — unset env var means a
+    ``None`` check per acquisition and nothing else.
+    """
+
+    def __init__(self, name: str = "commit-gate") -> None:
         self._cond = threading.Condition(threading.Lock())
         self._active_readers = 0
         self._writer_active = False
         self._writers_waiting = 0
+        self._debug_name: Optional[str] = name if debug_locks_enabled() else None
 
     # -- shared (queries) -----------------------------------------------------
 
@@ -46,6 +56,8 @@ class CommitGate:
             while self._writer_active or self._writers_waiting:
                 self._cond.wait()
             self._active_readers += 1
+        if self._debug_name is not None:
+            track_acquire(self._debug_name)
 
     def release_shared(self) -> None:
         """Leave the reader side; wakes a waiting writer when last out."""
@@ -53,6 +65,8 @@ class CommitGate:
             self._active_readers -= 1
             if self._active_readers == 0:
                 self._cond.notify_all()
+        if self._debug_name is not None:
+            track_release(self._debug_name)
 
     @contextmanager
     def shared(self) -> Iterator[None]:
@@ -75,12 +89,16 @@ class CommitGate:
             finally:
                 self._writers_waiting -= 1
             self._writer_active = True
+        if self._debug_name is not None:
+            track_acquire(self._debug_name)
 
     def release_exclusive(self) -> None:
         """Leave the writer side; wakes every waiter."""
         with self._cond:
             self._writer_active = False
             self._cond.notify_all()
+        if self._debug_name is not None:
+            track_release(self._debug_name)
 
     @contextmanager
     def exclusive(self) -> Iterator[None]:

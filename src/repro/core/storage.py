@@ -74,7 +74,7 @@ class Cole:
         # Queries hold this shared; puts, commit checkpoints, and rewind
         # hold it exclusive, so concurrent readers never observe a
         # half-switched group or a deleted run (see repro.common.gate).
-        self.gate = CommitGate()
+        self.gate = CommitGate("cole-gate")
         self.levels: List[DiskLevel] = []  # levels[i] is on-disk level i+1
         # Memoized read-path enumeration (see _read_sources): membership
         # and labels only change under the exclusive gate, so mutators
@@ -93,9 +93,12 @@ class Cole:
 
     def begin_block(self, height: int) -> None:
         """Start executing transactions of block ``height``."""
-        if height < self.current_blk:
-            raise StorageError("block heights must be non-decreasing (no forks, §4.3)")
-        self.current_blk = height
+        with self.gate.exclusive():
+            if height < self.current_blk:
+                raise StorageError(
+                    "block heights must be non-decreasing (no forks, §4.3)"
+                )
+            self.current_blk = height
 
     def commit_block(self, force_cascade: Optional[bool] = None) -> Digest:
         """Finalize the current block and return ``Hstate`` (Algorithm 1

@@ -29,6 +29,7 @@ import threading
 from collections import OrderedDict
 from typing import Optional
 
+from repro.common.debuglock import maybe_debug_lock
 from repro.common.errors import StorageError
 from repro.diskio.iostats import IOStats
 
@@ -83,7 +84,7 @@ class PagedFile:
         # only.  Reads are positional (pread) and lock-free past the
         # cache probe, so concurrent queries and background merges
         # sharing one handle no longer serialize on every page miss.
-        self._lock = threading.Lock()
+        self._lock = maybe_debug_lock("pagedfile-cache")
 
     # -- lifecycle ---------------------------------------------------------
 

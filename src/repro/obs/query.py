@@ -34,7 +34,7 @@ import json
 import os
 import random
 import sys
-from typing import List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 import click
 
@@ -69,10 +69,10 @@ class QueryTarget:
     def live(self) -> bool:
         return self.server is not None
 
-    def call(self, fn):
+    def call(self, fn: Callable[[Any], Any]) -> Any:
         """Run ``fn(client)`` (async) against the live server."""
 
-        async def go():
+        async def go() -> Any:
             from repro.server.client import connect
 
             async with connect(self.server) as client:
@@ -113,11 +113,11 @@ def _parse_server(value: str) -> Tuple[str, int]:
 # shared decorators and rendering
 # =============================================================================
 
-def error_handler(fn):
+def error_handler(fn: Callable[..., Any]) -> Callable[..., Any]:
     """Convert storage/IO failures into clean CLI errors (no tracebacks)."""
 
     @functools.wraps(fn)
-    def wrapper(*args, **kwargs):
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
         try:
             return fn(*args, **kwargs)
         except click.ClickException:
@@ -128,7 +128,7 @@ def error_handler(fn):
     return wrapper
 
 
-def format_option(fn):
+def format_option(fn: Callable[..., Any]) -> Callable[..., Any]:
     return click.option(
         "--format",
         "-f",
@@ -447,7 +447,7 @@ def flatten(mapping: dict) -> List[dict]:
     """A nested dict as sorted ``metric`` / ``value`` rows."""
     rows = []
 
-    def walk(prefix: str, value) -> None:
+    def walk(prefix: str, value: Any) -> None:
         if isinstance(value, dict):
             for key in sorted(value):
                 walk(f"{prefix}.{key}" if prefix else str(key), value[key])
@@ -470,7 +470,7 @@ def collect_audit(
     an unreplayed WAL tail is the server's to recover, not ours).
     """
     if target.live:
-        async def run(client):
+        async def run(client: Any) -> Any:
             info = await client.root()
             triples = await client.scan(addr_low, addr_high, limit=limit)
             out = []
@@ -499,7 +499,7 @@ def collect_audit(
         lock.close()
 
 
-def _audit_row(addr: bytes, result) -> dict:
+def _audit_row(addr: bytes, result: Any) -> dict:
     versions = list(result.versions)
     return {
         "addr": addr.hex(),
@@ -532,7 +532,7 @@ def _audit_row(addr: bytes, result) -> dict:
     help="live server to inspect",
 )
 @click.pass_context
-def query_group(ctx, workspace, server_addr):
+def query_group(ctx: click.Context, workspace: Optional[str], server_addr: Optional[str]) -> None:
     """Inspect a COLE deployment: levels, indexes, blooms, WAL,
     replication, caches, latencies, and provenance audits.
 
@@ -552,7 +552,7 @@ def query_group(ctx, workspace, server_addr):
 @format_option
 @click.pass_obj
 @error_handler
-def levels(target: QueryTarget, fmt: str):
+def levels(target: QueryTarget, fmt: str) -> None:
     """Runs and sizes per level per shard."""
     rows = collect_levels(target.resolve_workspace())
     emit(["shard", "level", "group", "run", "entries", "bytes"], rows, fmt)
@@ -562,7 +562,7 @@ def levels(target: QueryTarget, fmt: str):
 @format_option
 @click.pass_obj
 @error_handler
-def segments(target: QueryTarget, fmt: str):
+def segments(target: QueryTarget, fmt: str) -> None:
     """Learned-index segment counts, epsilon, predicted seek cost."""
     rows = collect_segments(target.resolve_workspace())
     emit(
@@ -586,7 +586,7 @@ def segments(target: QueryTarget, fmt: str):
 @format_option
 @click.pass_obj
 @error_handler
-def bloom(target: QueryTarget, probes: int, fmt: str):
+def bloom(target: QueryTarget, probes: int, fmt: str) -> None:
     """Bloom bits, hash counts, theoretical and measured FPR."""
     rows = collect_bloom(target.resolve_workspace(), probes=probes)
     emit(
@@ -603,7 +603,7 @@ def bloom(target: QueryTarget, probes: int, fmt: str):
 @format_option
 @click.pass_obj
 @error_handler
-def wal(target: QueryTarget, fmt: str):
+def wal(target: QueryTarget, fmt: str) -> None:
     """WAL segments: sealed/active state, record counts, torn tails."""
     if target.live:
         wal_stats = target.stats().get("wal")
@@ -630,7 +630,7 @@ def wal(target: QueryTarget, fmt: str):
 @format_option
 @click.pass_obj
 @error_handler
-def replication(target: QueryTarget, fmt: str):
+def replication(target: QueryTarget, fmt: str) -> None:
     """Replication role, lag, and subscriber state."""
     if target.live:
         section = target.stats().get("replication") or {"role": "standalone"}
@@ -645,7 +645,7 @@ def replication(target: QueryTarget, fmt: str):
 @format_option
 @click.pass_obj
 @error_handler
-def caches(target: QueryTarget, fmt: str):
+def caches(target: QueryTarget, fmt: str) -> None:
     """Read / negative / page cache hit rates and occupancy."""
     if target.live:
         rows = collect_caches(target.stats())
@@ -665,7 +665,7 @@ def caches(target: QueryTarget, fmt: str):
 @format_option
 @click.pass_obj
 @error_handler
-def latency(target: QueryTarget, fmt: str):
+def latency(target: QueryTarget, fmt: str) -> None:
     """Per-op latency histograms (parsed from METRICS exposition)."""
     if target.live:
         rows = collect_latency(target.metrics_text())
@@ -708,7 +708,8 @@ def audit(
     limit: int,
     addr_size: int,
     fmt: str,
-):
+
+) -> None:
     """Provenance walk over ADDR_LOW..ADDR_HIGH (hex; prefixes allowed).
 
     For each live address in the range (up to --limit): its version

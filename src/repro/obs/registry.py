@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import math
 import threading
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 __all__ = [
     "Counter",
@@ -299,7 +299,14 @@ class MetricsRegistry:
         self._kinds: Dict[str, str] = {}
         self._help: Dict[str, str] = {}
 
-    def _get(self, kind: str, name: str, help: str, labels: dict, factory):
+    def _get(
+        self,
+        kind: str,
+        name: str,
+        help: str,
+        labels: dict,
+        factory: Callable[[], Any],
+    ) -> Any:
         key = (name, _label_key(labels))
         with self._lock:
             existing = self._kinds.get(name)
@@ -316,10 +323,10 @@ class MetricsRegistry:
                     self._help[name] = help
             return metric
 
-    def counter(self, name: str, help: str = "", **labels) -> Counter:
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
         return self._get("counter", name, help, labels, Counter)
 
-    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
         return self._get("gauge", name, help, labels, Gauge)
 
     def histogram(
@@ -329,7 +336,7 @@ class MetricsRegistry:
         lo: float = DEFAULT_LO,
         growth: float = DEFAULT_GROWTH,
         buckets: int = DEFAULT_BUCKETS,
-        **labels,
+        **labels: str,
     ) -> LatencyHistogram:
         return self._get(
             "histogram", name, help, labels,

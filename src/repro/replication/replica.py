@@ -189,7 +189,9 @@ class ReplicaApplier:
             # Mirror before applying: a crash between the append and the
             # apply leaves an uncommitted tail that recovery replays
             # into the engine — never an applied block the WAL missed.
-            self.wal.append_puts(items, record.height)
+            # (Executor hop: the append is a write syscall, and the
+            # applier shares the loop with the replica's read traffic.)
+            await self.server._run(self.wal.append_puts, items, record.height)
         apply_started = time.perf_counter()
         root = await self.server._run(self._apply, record.height, items)
         metrics = getattr(self.server, "metrics", None)
@@ -205,7 +207,7 @@ class ReplicaApplier:
             # *verified* commit while the applier freezes.
             self._fail_diverged(record.height, record.root, root)
         if self.wal is not None:
-            self.wal.append_commit(record.height, bytes(root))
+            await self.server._run(self.wal.append_commit, record.height, bytes(root))
         self.applied_height = record.height
         self.last_root = bytes(root)
         self.batches_applied += 1

@@ -283,7 +283,7 @@ class WriteBatcher:
             self._flushing_overlay = {}
             self._flushing_height = -1
             if self.wal is not None:
-                self.wal.append_commit(height, root)
+                await self._run(self.wal.append_commit, height, root)
                 self._maybe_truncate_wal()
                 if self._hub is not None and self._hub.subscribers:
                     # Ship only sealed-and-fsynced batches: a replica must

@@ -182,7 +182,10 @@ class _Connection:
             self._reader_task.cancel()
             try:
                 await self._reader_task
-            except (asyncio.CancelledError, Exception):
+            # Whatever terminal error the reader died with was already
+            # delivered to every pending future; close() must not
+            # re-raise it at the caller.
+            except (asyncio.CancelledError, Exception):  # repro-lint: disable=error-taxonomy
                 pass
 
 

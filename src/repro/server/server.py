@@ -293,8 +293,11 @@ class ColeServer:
             # re-mark them so a replica's catch-up scan can ship those
             # heights (the roots are deterministic, so re-marking after
             # every recovery is idempotent in content).
-            for height, root in sorted(self.replay_stats.replayed_roots.items()):
-                self.wal.append_commit(height, root)
+            def _remark(replayed: dict) -> None:
+                for height, root in sorted(replayed.items()):
+                    self.wal.append_commit(height, root)
+
+            await self._run(_remark, self.replay_stats.replayed_roots)
             if self.replay_stats.replayed_roots and self.wal.sync_policy != "none":
                 await self._run(self.wal.sync)
             self.wal_syncer = _WalSyncer(self.wal, self._run, self.metrics)
@@ -354,7 +357,9 @@ class ColeServer:
             self._replica_task.cancel()
             try:
                 await self._replica_task
-            except (asyncio.CancelledError, Exception):
+            # The applier records its own terminal error (last_error /
+            # diverged); stop() only needs the task to be finished.
+            except (asyncio.CancelledError, Exception):  # repro-lint: disable=error-taxonomy
                 pass
             self._replica_task = None
         if self.hub is not None:

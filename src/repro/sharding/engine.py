@@ -84,7 +84,7 @@ class ShardedCole(StorageBackend):
         # mutator (puts, composite commits, rewind) holds it exclusive.
         # Ordering is always top gate before shard gate, so the two
         # levels cannot deadlock.
-        self.gate = CommitGate()
+        self.gate = CommitGate("shardedcole-gate")
         # Hot addresses route repeatedly; memoizing addr -> shard index
         # beats recomputing crc32 per put.  Bounded so an unbounded
         # address space cannot grow it without limit.
@@ -113,12 +113,20 @@ class ShardedCole(StorageBackend):
     # =========================================================================
 
     def begin_block(self, height: int) -> None:
-        """Start block ``height`` on every shard."""
-        if height < self.current_blk:
-            raise StorageError("block heights must be non-decreasing (no forks, §4.3)")
-        self.current_blk = height
-        for shard in self.shards:
-            shard.begin_block(height)
+        """Start block ``height`` on every shard.
+
+        Holds the top gate while the per-shard ``begin_block`` calls
+        take each shard's own gate — the documented top-before-shard
+        order, so this cannot deadlock against readers.
+        """
+        with self.gate.exclusive():
+            if height < self.current_blk:
+                raise StorageError(
+                    "block heights must be non-decreasing (no forks, §4.3)"
+                )
+            self.current_blk = height
+            for shard in self.shards:
+                shard.begin_block(height)
 
     def commit_block(self) -> Digest:
         """Finalize the block on every shard; returns the composite root.

@@ -46,6 +46,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.common.debuglock import maybe_debug_lock
 from repro.common.errors import StorageError
 from repro.sharding.router import shard_of
 from repro.wal.record import (
@@ -134,12 +135,12 @@ class WriteAheadLog:
         self.num_shards = num_shards
         self.sync_policy = sync_policy
         self.segment_max_bytes = segment_max_bytes
-        self._lock = threading.Lock()
+        self._lock = maybe_debug_lock("wal-append")
         # Serializes whole sync() passes.  Without it, a second concurrent
         # sync would observe `dirty == False` (cleared by the first pass),
         # skip the fsync, and advance `synced_lsn` past records whose
         # fsync is still in flight — acking a write before it is durable.
-        self._sync_lock = threading.Lock()
+        self._sync_lock = maybe_debug_lock("wal-sync")
         self._lsn = 0
         self.synced_lsn = 0
         self._closed = False

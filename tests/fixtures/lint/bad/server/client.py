@@ -1,0 +1,7 @@
+"""Fixture client: can speak PUT (via its encode helper), not PING."""
+
+
+def put(addr):
+    from server.protocol import encode_put
+
+    return encode_put(addr)

@@ -1,0 +1,30 @@
+"""Fixture: Op.PING exists nowhere else; Status.THROTTLED is unhandled."""
+
+
+class Op:
+    PUT = 1
+    PING = 2
+
+
+class Status:
+    OK = 0
+    ERROR = 2
+    THROTTLED = 5
+
+
+def encode_put(addr):
+    return bytes([Op.PUT]) + addr
+
+
+def encode_ok():
+    return bytes([Status.OK])
+
+
+def encode_error():
+    return bytes([Status.ERROR])
+
+
+def check_status(code):
+    if code == Status.ERROR:
+        raise ValueError("server error")
+    return code

@@ -1,0 +1,11 @@
+"""Fixture dispatch: knows PUT, has no branch for PING."""
+
+
+class Op:
+    pass
+
+
+def dispatch(op, body):
+    if op == Op.PUT:
+        return b"ok"
+    return b"err"

@@ -1,0 +1,17 @@
+"""Fixture: every error-taxonomy violation shape."""
+
+
+class WalError(Exception):
+    pass
+
+
+def append(fh, data):
+    try:
+        fh.write(data)
+    except:  # BAD: bare except
+        pass
+    try:
+        fh.flush()
+    except Exception:  # BAD: swallowed broad catch
+        pass
+    raise WalError("boom")  # BAD: not derived from ReproError

@@ -1,0 +1,13 @@
+"""Fixture client: a method per op, via the protocol encode helpers."""
+
+
+def put(addr, value):
+    from server.protocol import encode_put
+
+    return encode_put(addr, value)
+
+
+def get(addr):
+    from server.protocol import encode_get
+
+    return encode_get(addr)

@@ -1,0 +1,38 @@
+"""Fixture: a complete two-op, three-status protocol surface."""
+
+
+class Op:
+    PUT = 1
+    GET = 2
+
+
+class Status:
+    OK = 0
+    NOT_FOUND = 1
+    ERROR = 2
+
+
+def encode_put(addr, value):
+    return bytes([Op.PUT]) + addr + value
+
+
+def encode_get(addr):
+    return bytes([Op.GET]) + addr
+
+
+def encode_ok(payload):
+    return bytes([Status.OK]) + payload
+
+
+def encode_not_found():
+    return bytes([Status.NOT_FOUND])
+
+
+def encode_error(message):
+    return bytes([Status.ERROR]) + message.encode()
+
+
+def check_status(code):
+    if code == Status.ERROR:
+        raise ValueError("server error")
+    return code

@@ -1,0 +1,13 @@
+"""Fixture dispatch covering every op."""
+
+
+class Op:
+    pass
+
+
+def dispatch(op, body):
+    if op == Op.PUT:
+        return b"ok"
+    if op == Op.GET:
+        return b"value"
+    return b"err"

@@ -1,0 +1,14 @@
+"""Fixture: typed raises and narrowed handlers."""
+
+from repro.common.errors import ReproError
+
+
+class WalError(ReproError):
+    pass
+
+
+def append(fh, data):
+    try:
+        fh.write(data)
+    except OSError as exc:
+        raise WalError(f"append failed: {exc}")
