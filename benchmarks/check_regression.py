@@ -48,6 +48,22 @@ TRACKED = {
         "rows": ["negative-cache"],
     },
     "scan_vs_hotset": {"key": "cache_pages", "metric": "hit_ratio", "floor": 0.9},
+    # Tiering must rewrite strictly fewer bytes than leveling under the
+    # fig22 shard-skewed stream (measured ~2.3x at the smoke scale).
+    "compaction": {
+        "key": "config",
+        "metric": "ratio",
+        "floor": 1.05,
+        "rows": ["rewrite_ratio"],
+    },
+    # An incremental snapshot of a small delta must copy a small
+    # fraction of the full snapshot (measured ~3.7x at the smoke scale).
+    "incremental_snapshot": {
+        "key": "config",
+        "metric": "ratio",
+        "floor": 3.0,
+        "rows": ["bytes_ratio"],
+    },
 }
 
 

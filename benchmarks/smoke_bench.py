@@ -1,8 +1,9 @@
 """Reduced-scale smoke benchmarks feeding the CI regression gate.
 
 Runs the sharding, service, durability, scan (fig20 smoke path),
-replication, and hot-path (MULTI_GET / negative-lookup / scan-vs-hotset)
-experiments at a scale sized for a CI minute, prints their
+replication, hot-path (MULTI_GET / negative-lookup / scan-vs-hotset),
+and compaction/incremental-snapshot (fig22 smoke path) experiments at a
+scale sized for a CI minute, prints their
 series, and writes one JSON file that ``check_regression.py`` compares
 against ``baselines/smoke.json`` (the replication section is asserted
 for root equality here rather than throughput-gated — process spawn
@@ -76,6 +77,92 @@ def collect_counters() -> dict:
     }
 
 
+def collect_compaction() -> tuple:
+    """Ratio rows for the compaction policy and incremental snapshots.
+
+    Two design-invariant ratios, both deterministic functions of fixed
+    seeds rather than hardware speed: the leveling/tiering rewritten-byte
+    ratio under the fig22 shard-skewed stream (tiering must rewrite
+    strictly less), and the full/incremental snapshot copied-byte ratio
+    for a small delta on a settled store (an incremental must copy a
+    small fraction of the full snapshot).
+    """
+    import hashlib
+    import os
+    import tempfile
+
+    from repro.bench.experiments import run_compaction_policies
+    from repro.common.params import ColeParams
+    from repro.core import Cole
+    from repro.wal import snapshot_store
+
+    cells = {
+        row["policy"]: row
+        for row in run_compaction_policies(
+            size_ratios=(4,), blocks=60, puts_per_block=16, reads=40
+        )
+    }
+    if any(row["content_mismatches"] for row in cells.values()):
+        raise SystemExit("compaction smoke served wrong content")
+    compaction = [
+        {
+            "config": "rewrite_ratio",
+            "ratio": cells["leveling"]["bytes_rewritten"]
+            / max(1, cells["tiering"]["bytes_rewritten"]),
+            "leveling_bytes": cells["leveling"]["bytes_rewritten"],
+            "tiering_bytes": cells["tiering"]["bytes_rewritten"],
+        }
+    ]
+
+    def copied_bytes(meta: dict) -> int:
+        return sum(entry["size"] for entry in meta["files"].values())
+
+    with tempfile.TemporaryDirectory(prefix="smoke-incsnap-") as root:
+        params = ColeParams(mem_capacity=64, async_merge=False)
+        engine = Cole(os.path.join(root, "ws"), params)
+        try:
+            addr_size = params.system.addr_size
+            value_size = params.system.value_size
+            blk = 0
+
+            def load(blocks: int) -> None:
+                nonlocal blk
+                for _ in range(blocks):
+                    blk += 1
+                    writes = {
+                        hashlib.sha256(
+                            f"snap-{(blk * 7 + n) % 96}".encode()
+                        ).digest()[:addr_size]: f"v{blk}.{n}".encode().ljust(
+                            value_size, b"."
+                        )[:value_size]
+                        for n in range(13)
+                    }
+                    engine.begin_block(blk)
+                    engine.put_many(sorted(writes.items()))
+                    engine.commit_block()
+
+            load(34)  # settled base: runs survive the next small delta
+            full_meta = snapshot_store(engine, os.path.join(root, "full"))
+            load(2)
+            inc_meta = snapshot_store(
+                engine,
+                os.path.join(root, "inc"),
+                parent=os.path.join(root, "full"),
+            )
+        finally:
+            engine.close()
+    incremental = [
+        {
+            "config": "bytes_ratio",
+            "ratio": copied_bytes(full_meta) / max(1, copied_bytes(inc_meta)),
+            "full_bytes": copied_bytes(full_meta),
+            "incremental_bytes": copied_bytes(inc_meta),
+            "reused_files": len(inc_meta["reused"]),
+        }
+    ]
+    return compaction, incremental
+
+
 def main(argv) -> int:
     out_path = argv[1] if len(argv) > 1 else "smoke-bench.json"
     sharding = run_sharding_scalability(shard_counts=(1, 2), blocks=40, repeats=1)
@@ -116,6 +203,9 @@ def main(argv) -> int:
     )
     negative_lookup = run_negative_lookup(absent_keys=48, passes=20, num_keys=512)
     scan_vs_hotset = run_scan_vs_hotset(num_keys=512, blocks=24)
+    # Compaction-policy and incremental-snapshot ratios: design
+    # invariants gated with fixed floors, immune to runner speed.
+    compaction, incremental_snapshot = collect_compaction()
     counters = collect_counters()
     print("\n-- counters --")
     print(format_table(list(counters), [[counters[k] for k in counters]]))
@@ -128,6 +218,8 @@ def main(argv) -> int:
         ("multi_get", multi_get),
         ("negative_lookup", negative_lookup),
         ("scan_vs_hotset", scan_vs_hotset),
+        ("compaction", compaction),
+        ("incremental_snapshot", incremental_snapshot),
     ):
         print(f"\n-- {name} --")
         print(
@@ -146,6 +238,8 @@ def main(argv) -> int:
                 "multi_get": multi_get,
                 "negative_lookup": negative_lookup,
                 "scan_vs_hotset": scan_vs_hotset,
+                "compaction": compaction,
+                "incremental_snapshot": incremental_snapshot,
                 "counters": counters,
             },
             handle,

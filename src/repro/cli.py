@@ -11,7 +11,11 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli loadgen --port 7407 --workload E [--scan-len 50]
     python -m repro.cli loadgen --port 7407 --multi-get-size 16
     python -m repro.cli snapshot /path/to/workspace /path/to/snapshot
+    python -m repro.cli snapshot /path/to/ws /path/to/inc --incremental-from /path/to/snapshot
+    python -m repro.cli snapshot --verify-only /path/to/snapshot
     python -m repro.cli restore /path/to/snapshot /path/to/new-workspace
+    python -m repro.cli export -w /path/to/workspace --at-blk 100 -o slice.repx
+    python -m repro.cli import slice.repx -w /path/to/new-workspace
     python -m repro.cli cluster init manifest.json --nodes 2 --shards 4
     python -m repro.cli cluster serve /data/node0 --node node-0 -m manifest.json
     python -m repro.cli cluster status -m manifest.json
@@ -41,6 +45,7 @@ _EXPERIMENTS = {
     "fig19": ("run_read_scaling", {}),
     "fig20": ("run_scan_throughput", {}),
     "fig21": ("run_cluster_scaling", {}),
+    "fig22": ("run_compaction_policies", {}),
     "table1": ("run_complexity_table", {}),
     "index-share": ("run_index_share", {}),
     "multi-get": ("run_multi_get", {}),
@@ -309,10 +314,38 @@ def cmd_snapshot(args: argparse.Namespace) -> int:
     Offline by design: the workspace lock aborts the copy when another
     process (a live ``repro serve``) holds the store — the commit gate
     only coordinates threads *within* one process.
+
+    ``--incremental-from PREV`` copies only runs new since ``PREV``
+    (which may itself be incremental — chains verify and restore hop by
+    hop).  ``--verify-only PATH`` checks an existing snapshot chain and
+    takes no copy; the positional arguments are not used.
     """
     import os
 
-    from repro.wal import WriteAheadLog, replay_wal, snapshot_store
+    from repro.common.errors import IntegrityError, StorageError
+    from repro.wal import WriteAheadLog, replay_wal, snapshot_store, verify_snapshot
+
+    if args.verify_only:
+        if args.workspace or args.dest:
+            raise SystemExit(
+                "snapshot --verify-only takes the snapshot path only "
+                "(no workspace/dest arguments)"
+            )
+        try:
+            meta = verify_snapshot(args.verify_only)
+        except (IntegrityError, StorageError) as exc:
+            print(f"snapshot verification FAILED: {exc}")
+            return 1
+        chain = "incremental" if meta.get("parent") else "full"
+        print(f"snapshot:    {args.verify_only} ({chain}) OK")
+        print(f"root digest: {meta['root_digest']}")
+        print(
+            f"files:       {len(meta['files'])} copied, "
+            f"{len(meta.get('reused', {}))} reused from the parent chain"
+        )
+        return 0
+    if not args.workspace or not args.dest:
+        raise SystemExit("snapshot requires workspace and dest arguments")
 
     num_shards = args.shards or _detect_shards(args.workspace)
     lock = _lock_workspace(args.workspace, "snapshot")
@@ -325,7 +358,9 @@ def cmd_snapshot(args: argparse.Namespace) -> int:
             # digest covers every write the WAL still owes the engine.
             wal = WriteAheadLog(wal_dir, num_shards=num_shards)
             replay_wal(engine, wal)
-        meta = snapshot_store(engine, args.dest, wal=wal)
+        meta = snapshot_store(
+            engine, args.dest, wal=wal, parent=args.incremental_from
+        )
     finally:
         if wal is not None:
             wal.close()
@@ -334,7 +369,14 @@ def cmd_snapshot(args: argparse.Namespace) -> int:
     print(f"snapshot:    {args.dest}")
     print(f"kind:        {meta['kind']} ({meta['num_shards']} shards)")
     print(f"root digest: {meta['root_digest']}")
-    print(f"files:       {len(meta['files'])}")
+    if args.incremental_from:
+        copied = sum(attrs["size"] for attrs in meta["files"].values())
+        print(
+            f"files:       {len(meta['files'])} copied ({format_bytes(copied)}), "
+            f"{len(meta['reused'])} reused from {args.incremental_from}"
+        )
+    else:
+        print(f"files:       {len(meta['files'])}")
     return 0
 
 
@@ -363,6 +405,91 @@ def cmd_restore(args: argparse.Namespace) -> int:
         print(f"MISMATCH:    snapshot recorded {meta['root_digest']}")
         return 1
     print("root digest matches the snapshot record")
+    return 0
+
+
+def _parse_addr_bound(value: Optional[str], flag: str) -> Optional[bytes]:
+    if value is None:
+        return None
+    try:
+        return bytes.fromhex(value)
+    except ValueError:
+        raise SystemExit(f"{flag} expects a hex-encoded address, got {value!r}")
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    """Stream a snapshot-consistent keyspace slice into a portable file.
+
+    Rides the engine's paged range-scan cursors: memory stays bounded
+    by the page size however large the slice.  The WAL is replayed
+    first (like ``repro snapshot``) so the slice sees every durable
+    write.
+    """
+    import os
+
+    from repro.core.export import export_slice
+    from repro.wal import WriteAheadLog, replay_wal
+
+    num_shards = args.shards or _detect_shards(args.workspace)
+    lock = _lock_workspace(args.workspace, "export")
+    engine = _open_engine(args.workspace, num_shards)
+    wal = None
+    try:
+        wal_dir = os.path.join(args.workspace, WAL_DIRNAME)
+        if os.path.isdir(wal_dir):
+            wal = WriteAheadLog(wal_dir, num_shards=num_shards)
+            replay_wal(engine, wal)
+        with open(args.output, "wb") as out:
+            stats = export_slice(
+                engine,
+                out,
+                at_blk=args.at_blk,
+                addr_low=_parse_addr_bound(args.low, "--low"),
+                addr_high=_parse_addr_bound(args.high, "--high"),
+            )
+    finally:
+        if wal is not None:
+            wal.close()
+        engine.close()
+        lock.close()
+    size = os.path.getsize(args.output)
+    print(f"exported:    {args.output} ({format_bytes(size)})")
+    print(f"triples:     {stats['triples']} (as of block {stats['at_blk']})")
+    print(f"source root: {stats['root']}")
+    return 0
+
+
+def cmd_import(args: argparse.Namespace) -> int:
+    """Replay an export stream into a fresh workspace."""
+    import os
+
+    from repro.core.export import import_slice
+
+    if os.path.isdir(args.workspace) and os.listdir(args.workspace):
+        raise SystemExit(
+            f"import destination {args.workspace} is not empty; "
+            "imports replay into a fresh workspace"
+        )
+    lock = _lock_workspace(args.workspace, "import")
+    engine = _open_engine(args.workspace, max(1, args.shards))
+    try:
+        with open(args.file, "rb") as inp:
+            stats = import_slice(engine, inp)
+        engine.wait_for_merges()
+        root = engine.root_digest().hex()
+    finally:
+        engine.close()
+        lock.close()
+    print(f"imported:    {stats['triples']} triples over {stats['blocks']} blocks")
+    print(f"root digest: {root}")
+    print(f"source root: {stats['source_root']}")
+    if root == stats["source_root"]:
+        print("root digest matches the export header")
+    else:
+        print(
+            "note: roots differ for partial slices or overwrite-heavy "
+            "histories (the export carries surviving versions only)"
+        )
     return 0
 
 
@@ -677,10 +804,24 @@ def build_parser() -> argparse.ArgumentParser:
     snapshot = sub.add_parser(
         "snapshot", help="consistent point-in-time copy of a workspace"
     )
-    snapshot.add_argument("workspace", help="source workspace directory")
-    snapshot.add_argument("dest", help="snapshot directory (must be empty)")
+    snapshot.add_argument(
+        "workspace", nargs="?", help="source workspace directory"
+    )
+    snapshot.add_argument(
+        "dest", nargs="?", help="snapshot directory (must be empty)"
+    )
     snapshot.add_argument(
         "--shards", type=int, default=0, help="shard count (0 = auto-detect)"
+    )
+    snapshot.add_argument(
+        "--incremental-from",
+        metavar="PREV",
+        help="copy only runs new since the snapshot at PREV (chainable)",
+    )
+    snapshot.add_argument(
+        "--verify-only",
+        metavar="PATH",
+        help="verify the snapshot chain at PATH and exit (no copy)",
     )
     snapshot.set_defaults(func=cmd_snapshot)
 
@@ -690,6 +831,40 @@ def build_parser() -> argparse.ArgumentParser:
     restore.add_argument("snapshot", help="snapshot directory")
     restore.add_argument("dest", help="new workspace directory (must be empty)")
     restore.set_defaults(func=cmd_restore)
+
+    export = sub.add_parser(
+        "export", help="stream a keyspace slice into a portable file"
+    )
+    export.add_argument(
+        "-w", "--workspace", required=True, help="source workspace directory"
+    )
+    export.add_argument(
+        "-o", "--output", required=True, help="output stream file"
+    )
+    export.add_argument(
+        "--at-blk",
+        type=int,
+        default=None,
+        help="block height of the slice (default: current height)",
+    )
+    export.add_argument("--low", help="lowest address, hex (default: zero)")
+    export.add_argument("--high", help="highest address, hex (default: max)")
+    export.add_argument(
+        "--shards", type=int, default=0, help="shard count (0 = auto-detect)"
+    )
+    export.set_defaults(func=cmd_export)
+
+    importer = sub.add_parser(
+        "import", help="replay an export stream into a fresh workspace"
+    )
+    importer.add_argument("file", help="export stream file")
+    importer.add_argument(
+        "-w", "--workspace", required=True, help="destination workspace (empty)"
+    )
+    importer.add_argument(
+        "--shards", type=int, default=1, help="shard count of the new workspace"
+    )
+    importer.set_defaults(func=cmd_import)
 
     loadgen = sub.add_parser("loadgen", help="drive a running server with load")
     loadgen.add_argument("--host", default="127.0.0.1")

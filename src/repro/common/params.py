@@ -77,6 +77,14 @@ class ColeParams:
             disables caching so the IO-cost accounting of Table 1 counts
             every raw page access; the serving layer and the cache
             benchmarks opt in.
+        compaction: cascade trigger policy (``repro.core.compaction``).
+            ``"leveling"`` (the default, the paper's behaviour) merges a
+            level as soon as it holds ``size_ratio`` runs; ``"tiering"``
+            lets under-full sibling runs accumulate until the group
+            actually overflows ``level_capacity``, trading bounded read
+            fanout for less merge write amplification (the Dostoevsky
+            trade-off).  Persisted in the manifest and validated on
+            reopen.
     """
 
     system: SystemParams = SystemParams()
@@ -87,10 +95,15 @@ class ColeParams:
     bloom_bits_per_key: int = 10
     bloom_hashes: int = 7
     value_cache_pages: int = 0
+    compaction: str = "leveling"
 
     def __post_init__(self) -> None:
         if self.value_cache_pages < 0:
             raise ValueError("value_cache_pages cannot be negative")
+        if self.compaction not in ("leveling", "tiering"):
+            raise ValueError(
+                f"compaction must be 'leveling' or 'tiering', got {self.compaction!r}"
+            )
         if self.size_ratio < 2:
             raise ValueError("size_ratio must be >= 2")
         if self.mht_fanout < 2:
@@ -117,6 +130,10 @@ class ColeParams:
     def with_async(self, async_merge: bool = True) -> "ColeParams":
         """Return a copy with the asynchronous-merge flag set."""
         return replace(self, async_merge=async_merge)
+
+    def with_compaction(self, compaction: str) -> "ColeParams":
+        """Return a copy with a different compaction policy."""
+        return replace(self, compaction=compaction)
 
 
 @dataclass(frozen=True)

@@ -9,11 +9,18 @@ Public surface:
   results against the state root digest in a block header;
 * :class:`CompoundKey` — the ``<addr, blk>`` key of Section 3.2;
 * :func:`rewind_to` — fork support (state rewind), the paper's stated
-  future work, implemented as filter-and-rebuild.
+  future work, implemented as filter-and-rebuild;
+* :func:`export_slice` / :func:`import_slice` — streaming portable
+  export of a snapshot-consistent keyspace slice, and its replay
+  (``repro export`` / ``repro import``);
+* :func:`make_policy` — the pluggable compaction policy
+  (``repro.core.compaction``) driving the cascade triggers.
 """
 
+from repro.core.compaction import COMPACTION_POLICIES, make_policy
 from repro.core.compound import CompoundKey, MAX_BLK
 from repro.core.cursor import Cursor, MergingCursor, addr_successor
+from repro.core.export import export_slice, import_slice, iter_triples, read_header
 from repro.core.storage import Cole
 from repro.core.proofs import ProvenanceProof, ProvenanceResult
 from repro.core.verify import verify_provenance
@@ -21,6 +28,12 @@ from repro.core.rewind import rewind_to
 
 __all__ = [
     "Cole",
+    "COMPACTION_POLICIES",
+    "make_policy",
+    "export_slice",
+    "import_slice",
+    "iter_triples",
+    "read_header",
     "rewind_to",
     "CompoundKey",
     "Cursor",

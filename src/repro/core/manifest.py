@@ -35,6 +35,15 @@ class Manifest:
     checkpoint_puts: int = 0
     next_run_seq: int = 0
     async_merge: bool = False
+    # Compaction policy the store was committed under ("" on manifests
+    # predating the policy layer, which were all leveling), plus the
+    # cumulative write-amplification counters it accrued — persisted so
+    # a cold `repro query compaction` answers without replaying history.
+    compaction: str = ""
+    bytes_flushed: int = 0
+    bytes_rewritten: int = 0
+    # output paper-level -> cumulative merge bytes written onto it
+    level_bytes_rewritten: Dict[int, int] = field(default_factory=dict)
     # level index -> {"writing": [RunRecord...], "merging": [RunRecord...]}
     levels: Dict[int, Dict[str, List[RunRecord]]] = field(default_factory=dict)
 
@@ -44,6 +53,13 @@ class Manifest:
             "checkpoint_puts": self.checkpoint_puts,
             "next_run_seq": self.next_run_seq,
             "async_merge": self.async_merge,
+            "compaction": self.compaction,
+            "bytes_flushed": self.bytes_flushed,
+            "bytes_rewritten": self.bytes_rewritten,
+            "level_bytes_rewritten": {
+                str(level): total
+                for level, total in self.level_bytes_rewritten.items()
+            },
             "levels": {
                 str(level): {
                     role: [vars(record) for record in records]
@@ -68,6 +84,13 @@ class Manifest:
             checkpoint_puts=payload.get("checkpoint_puts", 0),
             next_run_seq=payload["next_run_seq"],
             async_merge=payload["async_merge"],
+            compaction=payload.get("compaction", ""),
+            bytes_flushed=payload.get("bytes_flushed", 0),
+            bytes_rewritten=payload.get("bytes_rewritten", 0),
+            level_bytes_rewritten={
+                int(level): total
+                for level, total in payload.get("level_bytes_rewritten", {}).items()
+            },
             levels=levels,
         )
 

@@ -190,6 +190,12 @@ class MergeScheduler:
                             "repro_merge_bytes_rewritten_total",
                             help="Bytes written by merge/flush builds",
                         ).inc(written)
+                        metrics.counter(
+                            "repro_compaction_bytes_total",
+                            help="Run-build output bytes by kind and level",
+                            kind=kind,
+                            level=str(level),
+                        ).inc(written)
             done.set_result(None)
 
         pending.future = done

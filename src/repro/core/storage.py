@@ -27,6 +27,7 @@ from repro.common.errors import StorageError
 from repro.common.gate import CommitGate
 from repro.common.hashing import Digest, hash_concat
 from repro.common.params import ColeParams
+from repro.core.compaction import make_policy
 from repro.core.compound import CompoundKey, MAX_BLK, addr_of_int, blk_of_int
 from repro.core.cursor import ReadSource, ScanTriple, scan_sources
 from repro.core.disklevel import DiskLevel, PendingMerge
@@ -85,6 +86,15 @@ class Cole:
         self._run_seq = 0
         self._checkpoint_puts = 0
         self._checkpoint_blk = -1
+        # Cascade trigger policy (repro.core.compaction) and the
+        # cumulative write-amplification counters it is judged by:
+        # bytes_flushed counts L0 flush output (user bytes entering
+        # disk), bytes_rewritten counts level-merge output (the bytes
+        # the policy chose to rewrite).  Both persist in the manifest.
+        self.compaction = make_policy(self.params.compaction)
+        self.bytes_flushed = 0
+        self.bytes_rewritten = 0
+        self.level_bytes_rewritten: Dict[int, int] = {}
         self._recover()
 
     # =========================================================================
@@ -176,21 +186,25 @@ class Cole:
             return
         run = self._build_run(1, entries, len(entries))
         self._ensure_level(1).writing.add(run)
+        self._note_flushed(run)
         self.mem_writing.clear()
         self._checkpoint_puts = self.puts_total
         self._checkpoint_blk = self.current_blk
         obsolete: List[Run] = []
         index = 0
-        while index < len(self.levels) and len(self.levels[index].writing) >= self.params.size_ratio:
+        while index < len(self.levels) and self.compaction.should_merge(
+            self.levels[index].writing, index + 1, self.params
+        ):
             level = self.levels[index]
-            target = index + 2  # paper-level number of the output run
-            sources = level.writing.runs
+            target = self.compaction.merge_target(index + 1)
+            sources = self.compaction.merge_sources(level.writing)
             total = sum(source.num_entries for source in sources)
             merged = merge_entry_streams(
                 [source.value_file.iter_entries() for source in sources]
             )
             run = self._build_run(target, merged, total)
             self._ensure_level(target).writing.add(run)
+            self._note_rewritten(run)
             obsolete.extend(level.writing.take_all())
             index += 1
         self._save_manifest()
@@ -207,7 +221,9 @@ class Cole:
         self._checkpoint_mem()
         obsolete: List[Run] = []
         index = 0
-        while index < len(self.levels) and len(self.levels[index].writing) >= self.params.size_ratio:
+        while index < len(self.levels) and self.compaction.should_merge(
+            self.levels[index].writing, index + 1, self.params
+        ):
             obsolete.extend(self._checkpoint_level(index))
             index += 1
         self._save_manifest()
@@ -222,6 +238,7 @@ class Cole:
             pending.wait()
             assert pending.output is not None
             self._ensure_level(1).writing.add(pending.output)
+            self._note_flushed(pending.output)
             self._checkpoint_puts = pending.checkpoint_puts
             self._checkpoint_blk = pending.checkpoint_blk
             self.mem_pending = None
@@ -254,7 +271,8 @@ class Cole:
         if pending is not None:
             pending.wait()
             assert pending.output is not None
-            self._ensure_level(index + 2).writing.add(pending.output)
+            self._ensure_level(pending.output.level).writing.add(pending.output)
+            self._note_rewritten(pending.output)
             level.pending = None
         obsolete = level.merging.take_all()
         level.switch_groups()
@@ -266,19 +284,20 @@ class Cole:
         both the checkpoint merge (Algorithm 5 line 19) and the recovery
         restart of an aborted merge (Section 4.3)."""
         level = self.levels[index]
-        sources = list(level.merging.runs)
+        sources = self.compaction.merge_sources(level.merging)
         if not sources:
             return
+        target = self.compaction.merge_target(index + 1)
         total = sum(source.num_entries for source in sources)
-        name = self._next_run_name(index + 2)
+        name = self._next_run_name(target)
 
         def build() -> Run:
             merged = merge_entry_streams(
                 [source.value_file.iter_entries() for source in sources]
             )
-            return Run.build(self.workspace, name, index + 2, merged, total, self.params)
+            return Run.build(self.workspace, name, target, merged, total, self.params)
 
-        level.pending = self.scheduler.spawn("merge", name, build, level=index + 2)
+        level.pending = self.scheduler.spawn("merge", name, build, level=target)
 
     # -- shared write helpers -------------------------------------------------------
 
@@ -295,6 +314,24 @@ class Cole:
         while len(self.levels) < paper_level:
             self.levels.append(DiskLevel(len(self.levels) + 1))
         return self.levels[paper_level - 1]
+
+    def _note_flushed(self, run: Run) -> None:
+        """Account an L0 flush output at the instant it is committed."""
+        self.bytes_flushed += run.storage_bytes()
+
+    def _note_rewritten(self, run: Run) -> None:
+        """Account a level-merge output at the instant it is committed.
+
+        Counted at the commit checkpoint (not when the background build
+        finishes) so the counters stay deterministic across merge timing
+        and crash/restart: an aborted merge's bytes are never counted,
+        its restart's are counted exactly once.
+        """
+        written = run.storage_bytes()
+        self.bytes_rewritten += written
+        self.level_bytes_rewritten[run.level] = (
+            self.level_bytes_rewritten.get(run.level, 0) + written
+        )
 
     def wait_for_merges(self) -> None:
         """Join every background merge (benchmark teardown, clean close).
@@ -568,6 +605,39 @@ class Cole:
         """Number of instantiated on-disk levels (``d_COLE`` of Table 1)."""
         return len(self.levels)
 
+    def compaction_stats(self) -> dict:
+        """Write-amplification accounting of the compaction policy.
+
+        ``write_amp`` is cumulative merge output over cumulative flush
+        output — the figure the leveling/tiering trade-off moves.  The
+        per-level rows report the live run layout (count, entries,
+        on-disk bytes) plus the merge bytes ever written *onto* that
+        level, so `repro query compaction` can show where rewriting
+        concentrates.
+        """
+        with self.gate.shared():
+            return self._compaction_stats()
+
+    def _compaction_stats(self) -> dict:
+        per_level: Dict[int, dict] = {}
+        for level in self.levels:
+            runs = level.all_runs()
+            per_level[level.level] = {
+                "runs": len(runs),
+                "entries": sum(run.num_entries for run in runs),
+                "bytes": sum(run.storage_bytes() for run in runs),
+                "bytes_rewritten": self.level_bytes_rewritten.get(level.level, 0),
+            }
+        flushed = self.bytes_flushed
+        rewritten = self.bytes_rewritten
+        return {
+            "policy": self.params.compaction,
+            "bytes_flushed": flushed,
+            "bytes_rewritten": rewritten,
+            "write_amp": round(rewritten / flushed, 4) if flushed else 0.0,
+            "levels": per_level,
+        }
+
     def rewind_to(self, target_blk: int) -> int:
         """Discard every version newer than ``target_blk`` (fork support,
         the paper's future-work extension — see repro.core.rewind)."""
@@ -598,6 +668,10 @@ class Cole:
             checkpoint_puts=self._checkpoint_puts,
             next_run_seq=self._run_seq,
             async_merge=self.params.async_merge,
+            compaction=self.params.compaction,
+            bytes_flushed=self.bytes_flushed,
+            bytes_rewritten=self.bytes_rewritten,
+            level_bytes_rewritten=dict(self.level_bytes_rewritten),
         )
         manifest.levels = {}
         for level in self.levels:
@@ -618,6 +692,21 @@ class Cole:
 
     def _recover(self) -> None:
         manifest = load_manifest(self.workspace.root)
+        # A committed store's run layout is policy-specific; reopening
+        # under a different policy would silently change where the next
+        # cascade merges and diverge Hstate across restarts.  Manifests
+        # predating the policy field were all written by leveling.
+        recorded = manifest.compaction
+        if not recorded and manifest.next_run_seq > 0:
+            recorded = "leveling"
+        if recorded and recorded != self.params.compaction:
+            raise StorageError(
+                f"workspace was committed with compaction={recorded!r}; "
+                f"reopen with the same policy (got {self.params.compaction!r})"
+            )
+        self.bytes_flushed = manifest.bytes_flushed
+        self.bytes_rewritten = manifest.bytes_rewritten
+        self.level_bytes_rewritten = dict(manifest.level_bytes_rewritten)
         # The lock is the CLI's advisory workspace guard: not engine
         # state, but deleting it mid-hold would let a second process
         # relock a fresh inode and defeat it.

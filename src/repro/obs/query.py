@@ -396,6 +396,113 @@ def collect_caches(stats: dict) -> List[dict]:
     return rows
 
 
+def _compaction_rows(
+    shard: str, policy: str, flushed: int, rewritten: int, levels: List[tuple]
+) -> List[dict]:
+    """Shared row shaping of the cold and live compaction collectors:
+    one row per level plus a ``*`` summary row carrying the cumulative
+    write-amplification (merge bytes over flush bytes)."""
+    rows = []
+    for level, runs, entries, size, level_rewritten in levels:
+        rows.append(
+            {
+                "shard": shard,
+                "level": level,
+                "policy": policy,
+                "runs": runs,
+                "entries": entries,
+                "bytes": size,
+                "bytes_rewritten": level_rewritten,
+                "write_amp": "",
+            }
+        )
+    rows.append(
+        {
+            "shard": shard,
+            "level": "*",
+            "policy": policy,
+            "runs": sum(row[1] for row in levels),
+            "entries": sum(row[2] for row in levels),
+            "bytes": flushed,
+            "bytes_rewritten": rewritten,
+            "write_amp": round(rewritten / flushed, 4) if flushed else 0.0,
+        }
+    )
+    return rows
+
+
+def collect_compaction(workspace: str) -> List[dict]:
+    """Compaction policy and write-amp accounting from cold manifests.
+
+    The summary row's ``bytes`` column is cumulative flush output (the
+    write-amp denominator); per-level rows show the live run layout and
+    the merge bytes ever written onto that level.
+    """
+    from repro.core.manifest import load_manifest
+    from repro.core.run import RUN_SUFFIXES
+
+    rows = []
+    for shard, directory in shard_roots(workspace):
+        manifest = load_manifest(directory)
+        policy = manifest.compaction
+        if not policy:
+            policy = "leveling" if manifest.next_run_seq > 0 else "-"
+        levels = []
+        for level, groups in sorted(manifest.levels.items()):
+            records = [
+                record
+                for role in sorted(groups)
+                for record in groups[role]
+            ]
+            size = 0
+            for record in records:
+                for suffix in RUN_SUFFIXES:
+                    path = os.path.join(directory, record.name + suffix)
+                    if os.path.exists(path):
+                        size += os.path.getsize(path)
+            levels.append(
+                (
+                    level,
+                    len(records),
+                    sum(record.num_entries for record in records),
+                    size,
+                    manifest.level_bytes_rewritten.get(level, 0),
+                )
+            )
+        rows.extend(
+            _compaction_rows(
+                shard,
+                policy,
+                manifest.bytes_flushed,
+                manifest.bytes_rewritten,
+                levels,
+            )
+        )
+    return rows
+
+
+def collect_compaction_live(stats: dict) -> List[dict]:
+    """Compaction accounting from a live server's STATS snapshot
+    (aggregated across shards by the engine)."""
+    snapshot = (stats.get("engine") or {}).get("compaction")
+    if not snapshot:
+        return []
+    levels = []
+    for level, row in sorted(
+        (int(level), row) for level, row in snapshot["levels"].items()
+    ):
+        levels.append(
+            (level, row["runs"], row["entries"], row["bytes"], row["bytes_rewritten"])
+        )
+    return _compaction_rows(
+        "-",
+        snapshot["policy"],
+        snapshot["bytes_flushed"],
+        snapshot["bytes_rewritten"],
+        levels,
+    )
+
+
 def collect_latency(metrics_text: str) -> List[dict]:
     """Histogram digests parsed back out of the METRICS exposition.
 
@@ -639,6 +746,31 @@ def replication(target: QueryTarget, fmt: str) -> None:
         section = {"role": "offline"}
         note = "replication state is process state; inspect a live server"
     emit(["metric", "value"], flatten(section), fmt, note=note)
+
+
+@query_group.command()
+@format_option
+@click.pass_obj
+@error_handler
+def compaction(target: QueryTarget, fmt: str) -> None:
+    """Compaction policy, per-level layout, cumulative write-amp.
+
+    The ``*`` row totals a shard: ``bytes`` is cumulative flush output,
+    ``bytes_rewritten`` cumulative merge output, ``write_amp`` their
+    ratio — the number the leveling/tiering trade-off moves.
+    """
+    if target.live:
+        rows = collect_compaction_live(target.stats())
+    else:
+        rows = collect_compaction(target.resolve_workspace())
+    emit(
+        [
+            "shard", "level", "policy", "runs", "entries", "bytes",
+            "bytes_rewritten", "write_amp",
+        ],
+        rows,
+        fmt,
+    )
 
 
 @query_group.command()

@@ -776,6 +776,7 @@ class ColeServer:
         batcher = self.batcher
         engine = self.engine
         storage = await self._run(engine.storage_bytes)
+        compaction = await self._run(engine.compaction_stats)
         num_shards = len(engine.shards) if hasattr(engine, "shards") else 1
         committed = (
             batcher.last_height
@@ -801,6 +802,10 @@ class ColeServer:
                 "storage_bytes": storage,
                 "disk_levels": engine.num_disk_levels(),
                 "shards": num_shards,
+                # Compaction-policy accounting (repro.core.compaction):
+                # cumulative flush/merge bytes and the per-level run
+                # layout behind `repro query compaction`.
+                "compaction": compaction,
                 # Where the engine lives on disk: repro query resolves a
                 # live server back to its workspace through this.
                 "workspace": getattr(engine, "directory", None)

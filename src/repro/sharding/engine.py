@@ -393,6 +393,37 @@ class ShardedCole(StorageBackend):
         """Deepest instantiated on-disk level across shards."""
         return max(shard.num_disk_levels() for shard in self.shards)
 
+    def compaction_stats(self) -> dict:
+        """Aggregated write-amplification accounting across shards.
+
+        Byte counters sum; the per-level rows merge by paper level.
+        Each shard takes its own gate (top gate before shard gates —
+        the established lock order).
+        """
+        merged: dict = {
+            "policy": self.params.cole.compaction,
+            "bytes_flushed": 0,
+            "bytes_rewritten": 0,
+            "levels": {},
+        }
+        with self.gate.shared():
+            for shard in self.shards:
+                stats = shard.compaction_stats()
+                merged["bytes_flushed"] += stats["bytes_flushed"]
+                merged["bytes_rewritten"] += stats["bytes_rewritten"]
+                for level, row in stats["levels"].items():
+                    into = merged["levels"].setdefault(
+                        level,
+                        {"runs": 0, "entries": 0, "bytes": 0, "bytes_rewritten": 0},
+                    )
+                    for field in into:
+                        into[field] += row[field]
+        flushed = merged["bytes_flushed"]
+        merged["write_amp"] = (
+            round(merged["bytes_rewritten"] / flushed, 4) if flushed else 0.0
+        )
+        return merged
+
     def wait_for_merges(self) -> None:
         """Join every shard's background merges (teardown, clean close)."""
         for shard in self.shards:

@@ -36,6 +36,7 @@ SUBCOMMANDS = (
     ["wal"],
     ["replication"],
     ["caches"],
+    ["compaction"],
     ["latency"],
     ["audit", "00", "ff", "--limit", "3"],
 )
@@ -145,6 +146,23 @@ def test_cold_wal_reports_segments(cold_workspace, capsys):
     assert not any(row["torn"] for row in rows)
 
 
+def test_cold_compaction_reports_policy_and_write_amp(cold_workspace, capsys):
+    code, out = run_cli(
+        ["-w", cold_workspace, "compaction", "-f", "json"], capsys
+    )
+    assert code == 0
+    rows = json.loads(out)
+    summary = [row for row in rows if row["level"] == "*"]
+    assert len(summary) == 1
+    assert summary[0]["policy"] == "leveling"  # the workspace's recorded policy
+    assert summary[0]["bytes"] > 0  # cumulative flush output
+    assert isinstance(summary[0]["write_amp"], float)
+    for row in rows:
+        if row["level"] != "*":
+            assert row["runs"] > 0
+            assert row["entries"] > 0
+
+
 def test_cold_audit_walks_provenance(cold_workspace, capsys):
     code, out = run_cli(
         ["-w", cold_workspace, "audit", "00", "ff", "--limit", "4",
@@ -217,6 +235,16 @@ def test_live_caches_reports_hit_rates(live_server, capsys):
     assert rows["read"]["hits"] > 0
     assert rows["read"]["lookups"] == rows["read"]["hits"] + rows["read"]["misses"]
     assert "negative" in rows
+
+
+def test_live_compaction_matches_stats(live_server, capsys):
+    code, out = run_cli(["-s", live_server, "compaction", "-f", "json"], capsys)
+    assert code == 0
+    rows = json.loads(out)
+    summary = [row for row in rows if row["level"] == "*"]
+    assert len(summary) == 1
+    assert summary[0]["policy"] == "leveling"
+    assert summary[0]["bytes"] > 0
 
 
 def test_live_wal_and_replication(live_server, capsys):

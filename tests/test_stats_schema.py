@@ -81,6 +81,16 @@ def assert_core_schema(stats: dict) -> None:
     assert isinstance(engine["shards"], int)
     assert isinstance(engine["workspace"], str) and engine["workspace"]
 
+    compaction = engine["compaction"]
+    assert compaction["policy"] in ("leveling", "tiering")
+    assert isinstance(compaction["bytes_flushed"], int)
+    assert isinstance(compaction["bytes_rewritten"], int)
+    assert isinstance(compaction["write_amp"], (int, float))
+    # STATS travels as JSON, so level keys arrive as strings.
+    assert isinstance(compaction["levels"], dict)
+    for row in compaction["levels"].values():
+        assert set(row) >= {"runs", "entries", "bytes", "bytes_rewritten"}
+
     latency = stats["latency"]
     assert isinstance(latency["op"], dict)
     assert isinstance(latency["merge"], dict)
